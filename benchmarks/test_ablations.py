@@ -1,0 +1,191 @@
+"""Ablations of F-IVM's design choices (beyond the paper's figures).
+
+Quantifies the individual ingredients the paper motivates qualitatively:
+
+* **chain collapsing** (Section 3's practical composition for wide
+  relations) — fewer views, less per-update view traffic;
+* **group-aware delta joins** (the operational form of the paper's
+  pre-aggregated sibling lookups) — O(1) star-root updates;
+* **variable-order choice for matrix chains** (Section 6.1) — the optimal
+  parenthesization vs a naive left-deep chain order;
+* **factorized vs listing update propagation** (Section 5) — rank-1 deltas
+  kept as products vs flattened.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.apps import MatrixChainIVM
+from repro.apps.regression import cofactor_query
+from repro.bench import format_table, run_stream
+from repro.core import FIVMEngine, Query
+from repro.datasets import housing, retailer, round_robin_stream
+from repro.datasets.matrices import random_matrix, row_update
+from repro.rings import INT_RING
+
+from benchmarks.conftest import SCALE, report
+
+
+def test_ablation_chain_collapsing(benchmark):
+    workload = retailer.generate(scale=0.1 * SCALE, seed=31)
+    query = cofactor_query(
+        "retailer", workload.schemas, workload.numeric_variables
+    )
+    stream = round_robin_stream(workload.schemas, workload.tables, batch_size=50)
+
+    def experiment():
+        rows = []
+        for collapse in (True, False):
+            engine = FIVMEngine(
+                query, workload.variable_order, collapse_chains=collapse
+            )
+            result = run_stream(
+                f"collapse={collapse}", engine, stream, query.ring, checkpoints=2
+            )
+            rows.append([
+                "on" if collapse else "off",
+                engine.tree.view_count(),
+                f"{result.average_throughput:.0f}",
+                result.peak_memory,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation: chain collapsing on the Retailer cofactor workload",
+        ["collapsing", "views in tree", "tuples/sec", "peak memory"],
+        rows,
+    )
+    report("ablation_chain_collapsing", table)
+    views_on, views_off = rows[0][1], rows[1][1]
+    assert views_on == 9
+    assert views_off > 3 * views_on  # one view per variable without it
+
+
+def test_ablation_group_aware_joins(benchmark):
+    """Group-aware probes pay when sibling views have wide keys per probe
+    subkey — exactly the factorized result representation, where each chain
+    view keeps one key per base row.  (On fully pre-aggregated COUNT views
+    buckets are singletons and the probes are equivalent.)"""
+    from repro.apps import ConjunctiveQuery
+    from repro.core.view_tree import build_view_tree
+    from repro.apps.conjunctive import _factorize_tree
+
+    workload = housing.generate(
+        scale=max(4, int(8 * SCALE)), postcodes=max(15, int(30 * SCALE)), seed=31
+    )
+    free = tuple(dict.fromkeys(a for s in workload.schemas.values() for a in s))
+    stream = round_robin_stream(workload.schemas, workload.tables, batch_size=20)
+
+    def experiment():
+        rows = []
+        outputs = []
+        for group_aware in (True, False):
+            query = Query("housing_fact", workload.schemas, ring=INT_RING)
+            tree = _factorize_tree(
+                build_view_tree(query, workload.variable_order), free
+            )
+            engine = FIVMEngine(
+                query, tree=tree, materialize="all", group_aware=group_aware
+            )
+            result = run_stream(
+                f"ga={group_aware}", engine, stream, query.ring, checkpoints=2
+            )
+            rows.append([
+                "on" if group_aware else "off",
+                f"{result.average_throughput:.0f}",
+                result.average_throughput,
+            ])
+            outputs.append(len(engine.result()))
+        assert outputs[0] == outputs[1], "ablation must not change results"
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation: group-aware delta joins (Housing factorized representation)",
+        ["group-aware probes", "tuples/sec"],
+        [row[:2] for row in rows],
+    )
+    speedup = rows[0][2] / rows[1][2]
+    report(
+        "ablation_group_aware",
+        table + f"\nspeedup from group-aware probes: {speedup:.2f}x",
+    )
+    assert rows[0][2] > rows[1][2]
+
+
+def test_ablation_matrix_chain_order(benchmark):
+    """Optimal parenthesization vs worst-case order for a skewed chain."""
+    rng = np.random.default_rng(32)
+    p_big = int(96 * SCALE)
+    p_small = 4
+    # A1 (small × big), A2 (big × big), A3 (big × small): the optimal order
+    # shrinks intermediates to small dimensions early.
+    mats = [
+        random_matrix(p_small, p_big, rng),
+        random_matrix(p_big, p_big, rng),
+        random_matrix(p_big, p_small, rng),
+    ]
+
+    def experiment():
+        rows = []
+        for optimal in (True, False):
+            chain = MatrixChainIVM(
+                mats, updatable=["A2"], use_optimal_order=optimal
+            )
+            u, v = row_update(p_big, 3, rng)
+            start = time.perf_counter()
+            for _ in range(3):
+                chain.apply_rank_one(2, u, v)
+            elapsed = (time.perf_counter() - start) / 3
+            rows.append(["optimal" if optimal else "balanced", elapsed])
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = format_table(
+        f"Ablation: variable order for the matrix chain "
+        f"(dims {p_small}x{p_big}, {p_big}x{p_big}, {p_big}x{p_small})",
+        ["order", "sec per rank-1 update"],
+        rows,
+    )
+    report("ablation_matrix_chain_order", table)
+
+
+def test_ablation_factorized_vs_listing_updates(benchmark):
+    rng = np.random.default_rng(33)
+    n = int(48 * SCALE)
+    mats = [random_matrix(n, n, rng) for _ in range(3)]
+
+    def experiment():
+        factored = MatrixChainIVM(mats, updatable=["A2"])
+        listing = MatrixChainIVM(mats, updatable=["A2"])
+        u, v = row_update(n, 1, rng)
+
+        start = time.perf_counter()
+        for _ in range(3):
+            factored.apply_rank_one(2, u, v)
+        t_factored = (time.perf_counter() - start) / 3
+
+        delta = np.outer(u, v)
+        start = time.perf_counter()
+        for _ in range(3):
+            listing.apply_dense_delta(2, delta)
+        t_listing = (time.perf_counter() - start) / 3
+        assert np.allclose(factored.result_matrix(), listing.result_matrix())
+        return [["factorized (rank-1)", t_factored], ["listing", t_listing]]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = format_table(
+        f"Ablation: factorized vs listing delta propagation (n = {n})",
+        ["update form", "sec/update"],
+        rows,
+    )
+    speedup = rows[1][1] / rows[0][1]
+    report(
+        "ablation_factorized_updates",
+        table + f"\nfactorized speedup: {speedup:.1f}x",
+    )
+    assert rows[0][1] < rows[1][1]

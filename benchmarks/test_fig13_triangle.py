@@ -1,0 +1,136 @@
+"""Figure 13: cofactor maintenance over the triangle query (Twitter).
+
+The triangle query is cyclic: F-IVM's view over S ⊗ T has O(N²) keys, and
+throughput declines sharply as the stream grows — for all higher-order
+strategies.  DBT-RING materializes all three pairwise joins (the paper
+reports 2.3x F-IVM's peak memory); 1-IVM stores only the inputs but pays
+linear-time deltas.  F-IVM-ONE (updates to R only, S ⊗ T precomputed) does
+one lookup per update.  Appendix B's indicator projection bounds the
+pairwise view by the active triangles (Example B.3).
+"""
+
+from __future__ import annotations
+
+from repro.apps.regression import cofactor_query
+from repro.baselines import FirstOrderIVM, RecursiveIVM
+from repro.bench import format_table, run_stream
+from repro.core import FIVMEngine, add_indicator_projections, build_view_tree
+from repro.datasets import round_robin_stream, twitter
+
+from benchmarks.conftest import SCALE, TIME_BUDGET, report
+
+
+def test_fig13_triangle_cofactor(benchmark):
+    workload = twitter.generate(
+        n_nodes=max(40, int(150 * SCALE)),
+        n_edges=max(600, int(3000 * SCALE)),
+        seed=13,
+    )
+    stream = round_robin_stream(
+        workload.schemas, workload.tables, batch_size=max(10, int(50 * SCALE))
+    )
+    one_stream = stream.restricted(["R"])
+
+    def experiment():
+        results = []
+
+        query = cofactor_query("tri", workload.schemas, ("A", "B", "C"))
+        fivm = FIVMEngine(query, workload.variable_order)
+        results.append(
+            run_stream("F-IVM", fivm, stream, query.ring,
+                       time_budget=TIME_BUDGET)
+        )
+
+        q_ind = cofactor_query("tri_ind", workload.schemas, ("A", "B", "C"))
+        tree = add_indicator_projections(
+            build_view_tree(q_ind, workload.variable_order)
+        )
+        fivm_ind = FIVMEngine(q_ind, tree=tree)
+        results.append(
+            run_stream("F-IVM+IND", fivm_ind, stream, q_ind.ring,
+                       time_budget=TIME_BUDGET)
+        )
+
+        q_ring = cofactor_query("tri_ring", workload.schemas, ("A", "B", "C"))
+        dbt_ring = RecursiveIVM(q_ring)
+        results.append(
+            run_stream("DBT-RING", dbt_ring, stream, q_ring.ring,
+                       time_budget=TIME_BUDGET)
+        )
+
+        q_fo = cofactor_query("tri_fo", workload.schemas, ("A", "B", "C"))
+        first_order = FirstOrderIVM(q_fo, workload.variable_order)
+        results.append(
+            run_stream("1-IVM", first_order, stream, q_fo.ring,
+                       time_budget=TIME_BUDGET)
+        )
+
+        # ONE scenario: S and T static (preloaded), only R streams.
+        q_one = cofactor_query("tri_one", workload.schemas, ("A", "B", "C"))
+        static_db = workload.empty_database(q_one.ring)
+        for rel in ("S", "T"):
+            target = static_db.relation(rel)
+            for row in workload.tables[rel]:
+                target.add(row, q_one.ring.one)
+        fivm_one = FIVMEngine(
+            q_one, workload.variable_order, updatable=["R"], db=static_db
+        )
+        results.append(
+            run_stream("F-IVM ONE", fivm_one, one_stream, q_one.ring,
+                       time_budget=TIME_BUDGET)
+        )
+        return results, fivm, fivm_ind, dbt_ring
+
+    (results, fivm, fivm_ind, dbt_ring) = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    by_name = {r.name: r for r in results}
+
+    rows = [
+        [
+            r.name,
+            f"{r.average_throughput:.0f}",
+            f"{r.throughput[0]:.0f} -> {r.throughput[-1]:.0f}",
+            r.peak_memory,
+            f"{r.fractions[-1]:.2f}" + (" (timeout)" if r.timed_out else ""),
+        ]
+        for r in results
+    ]
+    table = format_table(
+        f"Figure 13: triangle-query cofactor maintenance "
+        f"({stream.total_tuples} tuples)",
+        ["strategy", "tuples/sec", "tput first->last ckpt", "peak memory",
+         "fraction"],
+        rows,
+    )
+
+    def st_view_keys(engine):
+        node = next(
+            n for n in engine.tree.nodes
+            if not n.is_leaf and n.relations == frozenset({"S", "T"})
+        )
+        stored = engine.views.get(node.name)
+        return len(stored) if stored is not None else 0
+
+    extra = (
+        f"\nS⊗T view keys: F-IVM {st_view_keys(fivm)}, "
+        f"with indicator {st_view_keys(fivm_ind)}"
+    )
+    report("fig13_triangle_cofactor", table + extra)
+
+    # Throughput declines along the stream for the quadratic-view strategies.
+    assert by_name["F-IVM"].throughput[-1] < by_name["F-IVM"].throughput[0]
+    # The ONE variant is the fastest (paper: two orders over 1-IVM on the
+    # full-size graph; the gap narrows at this scale but the order holds).
+    assert (
+        by_name["F-IVM ONE"].average_throughput
+        > 1.1 * by_name["F-IVM"].average_throughput
+    )
+    assert (
+        by_name["F-IVM ONE"].average_throughput
+        > 3 * by_name["1-IVM"].average_throughput
+    )
+    # DBT-RING stores more than F-IVM (extra pairwise joins; paper: 2.3x).
+    assert by_name["DBT-RING"].peak_memory > by_name["F-IVM"].peak_memory
+    # The indicator projection bounds the S⊗T view (Example B.3).
+    assert st_view_keys(fivm_ind) < st_view_keys(fivm)

@@ -1,0 +1,174 @@
+"""Figure 6: matrix chain maintenance, A = A₁A₂A₃ under updates to A₂.
+
+Left plot: time per one-row update vs matrix dimension, for F-IVM
+(factorized rank-1 propagation), 1-IVM (recompute δA = A₁ δA₂ A₃), and
+RE-EVAL (recompute the product), each in two runtimes — the ring-relational
+hash-map engine and the dense numpy engine (the paper's Octave analog).
+
+Right plot: time per rank-r update at fixed n; F-IVM's cost is linear in r
+while re-evaluation is flat, giving the paper's crossover.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro.apps import (
+    DenseChainFIVM,
+    DenseChainFirstOrder,
+    DenseChainReeval,
+    MatrixChainIVM,
+    chain_query,
+)
+from repro.baselines import FactorizedReevaluator, FirstOrderIVM
+from repro.apps.matrix_chain import chain_variable_order
+from repro.bench import format_table
+from repro.datasets.matrices import (
+    matrix_as_relation,
+    random_matrix,
+    rank_r_update,
+    row_update,
+)
+from repro.rings import REAL_RING
+
+from benchmarks.conftest import SCALE, report
+
+
+def _timed(fn: Callable[[], None], repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def _dense_rows(ns: List[int], rng) -> List[List[object]]:
+    rows = []
+    for n in ns:
+        mats = [random_matrix(n, n, rng) for _ in range(3)]
+        engines = {
+            "F-IVM": DenseChainFIVM(*mats),
+            "1-IVM": DenseChainFirstOrder(*mats),
+            "RE-EVAL": DenseChainReeval(*mats),
+        }
+        updates = [row_update(n, int(rng.integers(0, n)), rng) for _ in range(5)]
+        for name, engine in engines.items():
+            queue = iter(updates * 5)
+
+            def one_update(engine=engine, queue=queue):
+                u, v = next(queue)
+                engine.apply_rank_one(u, v)
+
+            seconds = _timed(one_update, repeats=5)
+            rows.append(["dense", name, n, seconds])
+    return rows
+
+
+def _hash_rows(ns: List[int], rng) -> List[List[object]]:
+    rows = []
+    query = chain_query(3)
+    order = chain_variable_order(3)
+    for n in ns:
+        mats = [random_matrix(n, n, rng) for _ in range(3)]
+
+        fivm = MatrixChainIVM(mats, updatable=["A2"])
+
+        def fivm_update():
+            u, v = row_update(n, int(rng.integers(0, n)), rng)
+            fivm.apply_rank_one(2, u, v)
+
+        rows.append(["hash", "F-IVM", n, _timed(fivm_update, 3)])
+
+        from repro.data import Database
+
+        db = Database(
+            matrix_as_relation(f"A{i+1}", m, f"X{i+1}", f"X{i+2}")
+            for i, m in enumerate(mats)
+        )
+        first_order = FirstOrderIVM(query, order, db=db)
+
+        def fo_update():
+            u, v = row_update(n, int(rng.integers(0, n)), rng)
+            delta = matrix_as_relation("A2", np.outer(u, v), "X2", "X3")
+            first_order.apply_update(delta)
+
+        rows.append(["hash", "1-IVM", n, _timed(fo_update, 2)])
+
+        reeval = FactorizedReevaluator(query, order, db=db)
+
+        def re_update():
+            u, v = row_update(n, int(rng.integers(0, n)), rng)
+            delta = matrix_as_relation("A2", np.outer(u, v), "X2", "X3")
+            reeval.apply_update(delta)
+
+        rows.append(["hash", "RE-EVAL", n, _timed(re_update, 2)])
+    return rows
+
+
+def test_fig6_left_row_updates(benchmark):
+    rng = np.random.default_rng(12)
+    dense_ns = [int(n * SCALE) for n in (64, 128, 256)]
+    hash_ns = [max(4, int(n * SCALE)) for n in (8, 16, 28)]
+
+    def experiment():
+        return _dense_rows(dense_ns, rng) + _hash_rows(hash_ns, rng)
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = format_table(
+        "Figure 6 (left): seconds per one-row update to A2  (A = A1 A2 A3)",
+        ["runtime", "strategy", "n", "sec/update"],
+        rows,
+    )
+    report("fig6_left_row_updates", table)
+
+    def sec(runtime, strategy, n):
+        return next(r[3] for r in rows if r[:3] == [runtime, strategy, n])
+
+    n_big = dense_ns[-1]
+    assert sec("dense", "F-IVM", n_big) < sec("dense", "1-IVM", n_big)
+    assert sec("dense", "1-IVM", n_big) <= sec("dense", "RE-EVAL", n_big) * 1.2
+    # The F-IVM vs 1-IVM gap grows with n (O(n²) vs O(n³)).
+    gap_small = sec("dense", "1-IVM", dense_ns[0]) / sec("dense", "F-IVM", dense_ns[0])
+    gap_big = sec("dense", "1-IVM", n_big) / sec("dense", "F-IVM", n_big)
+    assert gap_big > gap_small
+    h_big = hash_ns[-1]
+    assert sec("hash", "F-IVM", h_big) < sec("hash", "1-IVM", h_big)
+    assert sec("hash", "F-IVM", h_big) < sec("hash", "RE-EVAL", h_big)
+
+
+def test_fig6_right_rank_r_updates(benchmark):
+    rng = np.random.default_rng(13)
+    n = int(256 * SCALE)
+    ranks = [1, 2, 4, 8, 16, 32, 64]
+    mats = [random_matrix(n, n, rng) for _ in range(3)]
+
+    def experiment():
+        rows = []
+        for rank in ranks:
+            terms = rank_r_update(n, rank, rng)
+            fivm = DenseChainFIVM(*mats)
+            t_fivm = _timed(lambda: fivm.apply_rank_r(terms), 3)
+            reeval = DenseChainReeval(*mats)
+            delta = sum(np.outer(u, v) for u, v in terms)
+            t_re = _timed(lambda: reeval.apply_dense_delta(delta), 3)
+            rows.append([rank, t_fivm, t_re])
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = format_table(
+        f"Figure 6 (right): seconds per rank-r update to A2 (n = {n})",
+        ["rank r", "F-IVM", "RE-EVAL (once)"],
+        rows,
+    )
+    crossover = next((r[0] for r in rows if r[1] > r[2]), None)
+    report(
+        "fig6_right_rank_r",
+        table + f"\nincremental beats re-evaluation up to rank ≈ "
+        f"{crossover if crossover else f'>{ranks[-1]}'}",
+    )
+
+    # F-IVM cost grows with rank; it wins at rank 1 by a wide margin.
+    assert rows[0][1] < rows[0][2] / 1.5
+    assert rows[-1][1] > rows[0][1] * 4

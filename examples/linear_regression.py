@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Learning a linear regression model over the Housing star join (§6.2).
+
+The training dataset is the natural join of six relations on ``postcode``
+— never materialized.  F-IVM maintains the (c, s, Q) sufficient statistics
+in the degree-26 matrix ring while tuples stream in; training then runs on
+the maintained moment matrix alone, via closed-form least squares and via
+the paper's batch gradient descent, whose per-step cost is independent of
+the data size.
+"""
+
+import numpy as np
+
+from repro.apps import CofactorModel
+from repro.datasets import housing, round_robin_stream
+
+
+def main() -> None:
+    workload = housing.generate(scale=2, postcodes=60, seed=1)
+    # Model variables: everything except the join key we group nothing by.
+    numeric = tuple(v for v in workload.numeric_variables if v != "postcode")
+    model = CofactorModel(
+        "housing",
+        workload.schemas,
+        numeric,
+        order=workload.variable_order,
+    )
+    ring = model.query.ring
+
+    stream = round_robin_stream(workload.schemas, workload.tables, batch_size=100)
+    print(f"Streaming {stream.total_tuples} tuples in {len(stream)} batches ...")
+    for delta in stream.deltas(ring):
+        model.apply_update(delta)
+
+    moments = model.moment_matrix()
+    print(f"Join cardinality (from the count aggregate): {moments[0, 0]:.0f}")
+    print(f"Maintained moment matrix: {moments.shape[0]}x{moments.shape[1]}")
+    print()
+
+    features = ["livingarea", "nbbedrooms", "nbbathrooms", "averagesalary"]
+    label = "price"
+
+    closed = model.solve(features, label, ridge=1e-6)
+    print(f"Closed-form least squares:  {closed}")
+
+    iterative = model.gradient_descent(
+        features, label, max_iterations=200_000, tolerance=1e-10
+    )
+    print(f"Batch gradient descent:     {iterative}")
+    print(f"  converged in {iterative.iterations} O(m²) steps "
+          "(no pass over the data)")
+    gap = float(np.max(np.abs(closed.theta - iterative.theta)))
+    print(f"  max |θ_closed - θ_gd| = {gap:.2e}")
+    print()
+
+    # The same statistics serve any other feature/label split for free.
+    other = model.solve(["crimesperyear", "nbhospitals"], "averagesalary")
+    print(f"Reusing the same statistics: {other}")
+
+    sample = {"livingarea": 25.0, "nbbedrooms": 3.0,
+              "nbbathrooms": 2.0, "averagesalary": 30.0}
+    print(f"Prediction for {sample}: price ≈ {closed.predict(sample):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Cyclic joins with indicator projections (Appendix B).
+
+The triangle query Q△ = R(A,B) ⋈ S(B,C) ⋈ T(C,A) is cyclic: the view
+joining S and T over the order A-B-C can hold O(N²) keys.  Joining in the
+indicator projection ∃_{A,B} R closes the cycle and keeps that view small
+without changing the result.  This example maintains the triangle count on
+a skewed graph stream, with and without the indicator, and compares view
+sizes and per-update behaviour.
+"""
+
+from repro import FIVMEngine, Query, add_indicator_projections, build_view_tree
+from repro.datasets import round_robin_stream, twitter
+from repro.rings import INT_RING
+
+
+def build_engine(workload, with_indicator: bool) -> FIVMEngine:
+    query = Query("triangle", workload.schemas, ring=INT_RING)
+    tree = build_view_tree(query, workload.variable_order)
+    if with_indicator:
+        add_indicator_projections(tree)
+    return FIVMEngine(query, tree=tree)
+
+
+def main() -> None:
+    workload = twitter.generate(n_nodes=120, n_edges=2500, seed=4)
+    print(f"Graph: {workload.metadata['edges']} edges split into R, S, T")
+
+    plain = build_engine(workload, with_indicator=False)
+    indexed = build_engine(workload, with_indicator=True)
+    print("\nView tree with the indicator projection:")
+    print(indexed.tree.pretty())
+
+    stream = round_robin_stream(workload.schemas, workload.tables, batch_size=100)
+    for delta in stream.deltas(INT_RING):
+        plain.apply_update(delta.copy())
+        indexed.apply_update(delta)
+
+    count_plain = plain.result().payload(())
+    count_indexed = indexed.result().payload(())
+    assert count_plain == count_indexed
+    print(f"\nMaintained triangle count: {count_indexed}")
+
+    def st_view_size(engine):
+        node = next(
+            n for n in engine.tree.nodes
+            if not n.is_leaf and n.relations == frozenset({"S", "T"})
+        )
+        return len(engine.views[node.name])
+
+    print("\nSize of the S⊗T view (the Example B.1 blow-up point):")
+    print(f"  without indicator: {st_view_size(plain):6d} keys")
+    print(f"  with ∃_AB R      : {st_view_size(indexed):6d} keys")
+
+    print("\nTotal stored keys per engine:")
+    print(f"  without indicator: {plain.total_keys():6d}")
+    print(f"  with ∃_AB R      : {indexed.total_keys():6d}")
+
+
+if __name__ == "__main__":
+    main()

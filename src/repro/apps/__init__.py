@@ -1,0 +1,42 @@
+"""Applications: matrix chains, regression over joins, conjunctive queries."""
+
+from repro.apps.conjunctive import MODES, ConjunctiveQuery
+from repro.apps.inference import (
+    FactorGraph,
+    MaxProductInference,
+    SumProductInference,
+)
+from repro.apps.matrix_chain import (
+    DenseChainFIVM,
+    DenseChainFirstOrder,
+    DenseChainReeval,
+    MatrixChainIVM,
+    chain_query,
+    chain_variable_order,
+    matrix_chain_order,
+)
+from repro.apps.regression import (
+    CofactorModel,
+    TrainedModel,
+    cofactor_query,
+    least_squares_from_moments,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "MODES",
+    "FactorGraph",
+    "SumProductInference",
+    "MaxProductInference",
+    "MatrixChainIVM",
+    "DenseChainFIVM",
+    "DenseChainFirstOrder",
+    "DenseChainReeval",
+    "chain_query",
+    "chain_variable_order",
+    "matrix_chain_order",
+    "CofactorModel",
+    "TrainedModel",
+    "cofactor_query",
+    "least_squares_from_moments",
+]

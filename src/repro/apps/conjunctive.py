@@ -1,0 +1,272 @@
+"""Conjunctive query evaluation with three result representations (§6.3).
+
+The same view tree maintains a conjunctive query's result in three ways,
+differing only in where the result tuples live:
+
+* ``listing_keys``   — keys of the root view carry result tuples, payloads
+  their multiplicities (ℤ ring, free variables kept as group-by keys);
+* ``listing_payloads`` — the relational data ring: the root payload *is* the
+  result relation (free variables lifted into payload space);
+* ``factorized``     — the result is distributed over the payload hierarchy
+  of *all* views: each view keeps, per key, the union of its own variable's
+  values with derivation counts (Figure 2e's blue views).  Arbitrarily more
+  succinct than listing, yet lossless: :meth:`ConjunctiveQuery.enumerate`
+  streams the result tuples (with multiplicities) back out.
+
+The factorized mode is implemented by a view-tree transformation: a free
+variable stays in the keys of *its own* view and is marginalized one level
+up, which is exactly "compute ⊕_{Y ∈ T−{X}} P[T]" from the paper expressed
+in key space (counts in ℤ payloads instead of nested unit relations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.memory import strategy_scalars
+from repro.core.engine import FIVMEngine
+from repro.core.query import Query
+from repro.core.variable_order import VariableOrder
+from repro.core.view_tree import ViewNode, ViewTree, build_view_tree
+from repro.data.relation import Relation
+from repro.rings.numeric import INT_RING
+from repro.rings.lifting import Lifting
+from repro.rings.relational import RelationalRing, free_lift
+
+__all__ = ["ConjunctiveQuery", "MODES"]
+
+MODES = ("listing_keys", "listing_payloads", "factorized")
+
+
+def _factorize_tree(tree: ViewTree, free: Sequence[str]) -> ViewTree:
+    """Defer marginalization of free variables to the parent view.
+
+    After the transform, the view at variable X keeps X in its keys (the
+    union of X-values with counts, per dependency context) and X is summed
+    out where the parent joins — turning the view hierarchy itself into the
+    factorized representation over the variable order.
+    """
+    free_set = set(free)
+    order = tree.order
+
+    def walk(node: ViewNode) -> Tuple[str, ...]:
+        """Returns the variables this node defers to its parent."""
+        if node.is_leaf:
+            return ()
+        inherited: List[str] = []
+        for child in node.children:
+            inherited.extend(walk(child))
+        own_free = tuple(v for v in node.at_vars if v in free_set)
+        node.marginalized = tuple(inherited) + tuple(
+            v for v in node.marginalized if v not in free_set
+        )
+        node.keys = order.canonical_sort(set(node.keys) | set(own_free))
+        return own_free
+
+    deferred = walk(tree.root)
+    # The root keeps its own free variables; nothing above marginalizes them.
+    del deferred
+    return tree
+
+
+class ConjunctiveQuery:
+    """A maintained conjunctive query under one of the three representations."""
+
+    def __init__(
+        self,
+        name: str,
+        relations: Mapping[str, Sequence[str]],
+        free: Sequence[str],
+        mode: str = "factorized",
+        order: Optional[VariableOrder] = None,
+        updatable: Optional[Sequence[str]] = None,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.mode = mode
+        self.free = tuple(free)
+        self.name = name
+
+        if mode == "listing_keys":
+            query = Query(name, relations, free=self.free, ring=INT_RING)
+            self.engine = FIVMEngine(query, order=order, updatable=updatable)
+        elif mode == "listing_payloads":
+            ring = RelationalRing()
+            lifting = Lifting(ring)
+            for variable in self.free:
+                lifting.set(variable, free_lift(variable))
+            query = Query(name, relations, free=(), ring=ring, lifting=lifting)
+            self.engine = FIVMEngine(query, order=order, updatable=updatable)
+        else:
+            query = Query(name, relations, free=(), ring=INT_RING)
+            tree = build_view_tree(query, order)
+            tree = _factorize_tree(tree, self.free)
+            self.engine = FIVMEngine(
+                query, tree=tree, updatable=updatable, materialize="all"
+            )
+        self.query = self.engine.query
+        # Canonical output order: free variables by variable-order position.
+        self.output_schema = self.engine.tree.order.canonical_sort(self.free)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ring(self):
+        """The ring deltas must be built over (ℤ or the relational ring)."""
+        return self.query.ring
+
+    def apply_update(self, delta: Relation) -> None:
+        self.engine.apply_update(delta)
+
+    def memory(self) -> int:
+        """Logical scalars stored across all views (for Figure 8)."""
+        return strategy_scalars(self.engine)
+
+    def result_relation(self) -> Relation:
+        """The result as one relation (listing modes only)."""
+        if self.mode == "listing_keys":
+            result = self.engine.result()
+            if result.schema != self.output_schema:
+                return result.reorder(self.output_schema)
+            return result
+        if self.mode == "listing_payloads":
+            payload = self.engine.result().payload(())
+            if isinstance(payload, Relation) and payload.schema:
+                if payload.schema != self.output_schema:
+                    return payload.reorder(self.output_schema)
+                return payload
+            return Relation("result", self.output_schema, INT_RING)
+        raise ValueError(
+            "factorized results are enumerated, not materialized; use "
+            "enumerate() or to_listing()"
+        )
+
+    def to_listing(self) -> Relation:
+        """Materialize the result as a listing relation (any mode)."""
+        if self.mode != "factorized":
+            return self.result_relation()
+        out = Relation("result", self.output_schema, INT_RING)
+        for row, multiplicity in self.enumerate():
+            out.add(row, multiplicity)
+        return out
+
+    def result_size(self) -> int:
+        """Number of distinct result tuples."""
+        if self.mode == "factorized":
+            return sum(1 for _ in self.enumerate())
+        return len(self.result_relation())
+
+    # ------------------------------------------------------------------
+    # Constant-delay-style enumeration from the factorized representation
+    # ------------------------------------------------------------------
+
+    def enumerate(self) -> Iterator[Tuple[tuple, int]]:
+        """Yield (tuple over the output schema, multiplicity).
+
+        Walks the view hierarchy top-down, binding each view's own free
+        variables from its stored keys given the ancestor context
+        (conditional independence makes this sound), then derives the
+        multiplicity as the product of per-relation aggregate counts.
+        """
+        if self.mode != "factorized":
+            for key, payload in sorted(self.to_listing().items(), key=repr):
+                yield key, payload
+            return
+
+        tree = self.engine.tree
+        views = self.engine.views
+        free_set = set(self.free)
+
+        # Exact multiplicities factor per relation only when bound variables
+        # are relation-local (true for all of the paper's §6.3 workloads:
+        # natural joins have no bound variables, and e.g. E in Example 6.5
+        # occurs in S alone).  Shared bound join variables would need the
+        # per-region aggregation the paper leaves to the count views.
+        bound_vars = [v for v in self.query.variables if v not in free_set]
+        for variable in bound_vars:
+            owners = self.query.relations_with(variable)
+            if len(owners) > 1:
+                raise ValueError(
+                    f"bound variable {variable!r} is shared by {owners}; "
+                    "factorized enumeration requires relation-local bound "
+                    "variables"
+                )
+        for variable in self.free:
+            stray = [
+                a for a in tree.order.ancestors(variable) if a not in free_set
+            ]
+            if stray:
+                raise ValueError(
+                    f"free variable {variable!r} sits below bound {stray}; "
+                    "use a variable order with free variables on top"
+                )
+
+        inner_nodes: List[ViewNode] = []
+
+        def collect(node: ViewNode) -> None:
+            if not node.is_leaf:
+                inner_nodes.append(node)
+            for child in node.children:
+                collect(child)
+
+        collect(tree.root)
+
+        # Each inner node binds its own free variables; probe it on the
+        # remaining key attributes (its dependency context).
+        node_own: Dict[str, Tuple[str, ...]] = {}
+        node_probe: Dict[str, Tuple[str, ...]] = {}
+        for node in inner_nodes:
+            own = tuple(v for v in node.keys if v in free_set and v in node.at_vars)
+            probe = tuple(a for a in node.keys if a not in own)
+            node_own[node.name] = own
+            node_probe[node.name] = probe
+            if probe and probe != views[node.name].schema:
+                views[node.name].register_index(probe)
+
+        # Leaves provide the multiplicities: the count of base tuples
+        # matching the free-variable binding (bound attributes summed out).
+        leaf_probe: Dict[str, Tuple[str, ...]] = {}
+        for leaf in tree.leaves.values():
+            probe = tuple(a for a in leaf.keys if a in free_set)
+            leaf_probe[leaf.name] = probe
+            stored = views[leaf.name]
+            if probe and probe != stored.schema:
+                stored.register_index(probe)
+
+        def multiplicity(binding: Dict[str, object]) -> int:
+            total = 1
+            for leaf in tree.leaves.values():
+                probe = leaf_probe[leaf.name]
+                subkey = tuple(binding[a] for a in probe)
+                stored = views[leaf.name]
+                count = 0
+                for _, payload in stored.lookup(probe, subkey):
+                    count += payload
+                total *= count
+                if total == 0:
+                    return 0
+            return total
+
+        def assign(index: int, binding: Dict[str, object]) -> Iterator[dict]:
+            if index == len(inner_nodes):
+                yield binding
+                return
+            node = inner_nodes[index]
+            own = node_own[node.name]
+            if not own:
+                yield from assign(index + 1, binding)
+                return
+            probe = node_probe[node.name]
+            subkey = tuple(binding[a] for a in probe)
+            stored = views[node.name]
+            own_positions = [node.keys.index(v) for v in own]
+            for key, _count in stored.lookup(probe, subkey):
+                extended = dict(binding)
+                for position, variable in zip(own_positions, own):
+                    extended[variable] = key[position]
+                yield from assign(index + 1, extended)
+
+        for binding in assign(0, {}):
+            count = multiplicity(binding)
+            if count != 0:
+                yield tuple(binding[v] for v in self.output_schema), count

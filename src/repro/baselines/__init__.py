@@ -1,0 +1,16 @@
+"""Competitor strategies: 1-IVM, recursive IVM (DBT), re-evaluation, SQL-OPT."""
+
+from repro.baselines.first_order import FirstOrderIVM
+from repro.baselines.recursive import RecursiveIVM, ScalarAggregateBank
+from repro.baselines.reeval import FactorizedReevaluator, NaiveReevaluator
+from repro.baselines.sql_opt import SQLOptCofactor, degree_query
+
+__all__ = [
+    "FirstOrderIVM",
+    "RecursiveIVM",
+    "ScalarAggregateBank",
+    "FactorizedReevaluator",
+    "NaiveReevaluator",
+    "SQLOptCofactor",
+    "degree_query",
+]

@@ -1,0 +1,106 @@
+"""First-order IVM (1-IVM): no auxiliary views, delta queries on the fly.
+
+Classical IVM [12] stores only the input relations and the query result.
+Every update triggers evaluation of the delta query — the join of the delta
+with all other *base* relations — from scratch.  As in DBToaster's
+first-order mode described in Section 7, the delta query is optimized by
+placing aggregates around connected components (we reuse the F-IVM view-tree
+structure for that push-down, but materialize nothing), so a single-tuple
+update costs time linear in the database rather than constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.query import Query
+from repro.core.variable_order import VariableOrder
+from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+__all__ = ["FirstOrderIVM"]
+
+
+class FirstOrderIVM:
+    """Maintains the query result with no auxiliary materialized views."""
+
+    def __init__(
+        self,
+        query: Query,
+        order: Optional[VariableOrder] = None,
+        db: Optional[Database] = None,
+    ):
+        self.query = query
+        self.tree: ViewTree = build_view_tree(query, order)
+        self.base: Dict[str, Relation] = {
+            rel: Relation(rel, schema, query.ring)
+            for rel, schema in query.relations.items()
+        }
+        root = self.tree.root
+        self._result = Relation(root.name, root.keys, query.ring)
+        if db is not None:
+            self.initialize(db)
+
+    def initialize(self, db: Database) -> None:
+        """Load base relation copies and compute the initial result."""
+        for rel in self.base:
+            self.base[rel] = db.relation(rel).copy()
+        self._result.clear()
+        self._result.absorb(
+            self.tree.evaluate(_BaseView(self.base))[self.tree.root.name]
+        )
+
+    def result(self) -> Relation:
+        return self._result
+
+    def apply_update(self, delta: Relation) -> Relation:
+        """Evaluate the delta query from base relations and fold it in."""
+        rel = delta.name
+        if rel not in self.base:
+            raise KeyError(f"unknown relation {rel!r}")
+        root_delta = self._evaluate_delta(self.tree.root, rel, delta)
+        self._result.absorb(root_delta)
+        self.base[rel].absorb(delta)
+        return root_delta
+
+    def _evaluate_delta(
+        self, node: ViewNode, rel: str, delta: Relation
+    ) -> Relation:
+        """Recursive on-the-fly evaluation with the delta at R's leaf.
+
+        Subtrees not containing R are (re)computed in full on every call —
+        the defining inefficiency of first-order IVM that the benchmarks
+        measure.
+        """
+        if node.is_leaf:
+            return delta if node.leaf_of == rel else self.base[node.leaf_of]
+        child_contents = []
+        for child in node.children:
+            if rel in child.relations:
+                child_contents.append(self._evaluate_delta(child, rel, delta))
+            else:
+                child_contents.append(self._evaluate_full(child))
+        return compute_view(node, child_contents, self.query)
+
+    def _evaluate_full(self, node: ViewNode) -> Relation:
+        if node.is_leaf:
+            return self.base[node.leaf_of]
+        child_contents = [self._evaluate_full(child) for child in node.children]
+        return compute_view(node, child_contents, self.query)
+
+    def view_sizes(self) -> Dict[str, int]:
+        """Stored state: the base relations and the result."""
+        sizes = {rel: len(r) for rel, r in self.base.items()}
+        sizes[self._result.name] = len(self._result)
+        return sizes
+
+
+class _BaseView:
+    """Adapter presenting a dict of relations with the Database interface."""
+
+    def __init__(self, base: Dict[str, Relation]):
+        self._base = base
+
+    def relation(self, name: str) -> Relation:
+        return self._base[name]

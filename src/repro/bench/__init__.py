@@ -1,0 +1,13 @@
+"""Benchmark substrate: stream harness and logical memory accounting."""
+
+from repro.bench.harness import StreamRunResult, format_table, run_stream
+from repro.bench.memory import payload_scalars, relation_scalars, strategy_scalars
+
+__all__ = [
+    "StreamRunResult",
+    "run_stream",
+    "format_table",
+    "payload_scalars",
+    "relation_scalars",
+    "strategy_scalars",
+]

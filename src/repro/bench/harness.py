@@ -1,0 +1,120 @@
+"""Throughput/memory harness shared by all benchmarks.
+
+Runs a maintenance strategy over an update stream, recording cumulative
+throughput (tuples/second) and logical memory at evenly spaced stream
+fractions — the axes of the paper's Figures 7, 8, and 13.  A time budget
+emulates the paper's one-hour timeout (scaled down): strategies that exceed
+it are marked timed out and report the fraction they reached.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bench.memory import strategy_scalars
+from repro.datasets.streams import UpdateStream
+
+__all__ = ["StreamRunResult", "run_stream", "format_table"]
+
+
+@dataclass
+class StreamRunResult:
+    """Checkpointed measurements from one strategy over one stream."""
+
+    name: str
+    fractions: List[float] = field(default_factory=list)
+    throughput: List[float] = field(default_factory=list)
+    memory: List[int] = field(default_factory=list)
+    total_tuples: int = 0
+    total_seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def average_throughput(self) -> float:
+        if self.total_seconds <= 0:
+            return float("inf")
+        return self.total_tuples / self.total_seconds
+
+    @property
+    def peak_memory(self) -> int:
+        return max(self.memory) if self.memory else 0
+
+
+def run_stream(
+    name: str,
+    strategy,
+    stream: UpdateStream,
+    ring,
+    checkpoints: int = 10,
+    time_budget: Optional[float] = None,
+    apply: Optional[Callable] = None,
+) -> StreamRunResult:
+    """Drive ``strategy`` through the stream, sampling at checkpoints.
+
+    ``apply`` overrides how a delta is fed to the strategy (default:
+    ``strategy.apply_update(delta)``).  Timing covers only the apply calls;
+    delta construction and memory accounting are outside the clock.
+    """
+    apply = apply or (lambda delta: strategy.apply_update(delta))
+    result = StreamRunResult(name=name)
+    total_batches = len(stream.batches)
+    if total_batches == 0:
+        return result
+    marks = {
+        max(0, round(total_batches * i / checkpoints) - 1)
+        for i in range(1, checkpoints + 1)
+    }
+    elapsed = 0.0
+    tuples_done = 0
+    total_tuples = max(1, stream.total_tuples)
+    for index, delta in enumerate(stream.deltas(ring)):
+        batch_tuples = len(stream.batches[index])
+        start = time.perf_counter()
+        apply(delta)
+        elapsed += time.perf_counter() - start
+        tuples_done += batch_tuples
+        if index in marks:
+            result.fractions.append(tuples_done / total_tuples)
+            result.throughput.append(
+                tuples_done / elapsed if elapsed > 0 else float("inf")
+            )
+            result.memory.append(strategy_scalars(strategy))
+        if time_budget is not None and elapsed > time_budget:
+            result.timed_out = True
+            break
+    result.total_tuples = tuples_done
+    result.total_seconds = elapsed
+    if not result.fractions or result.fractions[-1] < 1.0:
+        result.fractions.append(tuples_done / max(1, stream.total_tuples))
+        result.throughput.append(
+            tuples_done / elapsed if elapsed > 0 else float("inf")
+        )
+        result.memory.append(strategy_scalars(strategy))
+    return result
+
+
+def format_table(title: str, headers: List[str], rows: List[List[object]]) -> str:
+    """Render an aligned text table (the benches print paper-style tables)."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Static analysis of queries and maintenance strategies.
+
+The paper (Section 8) points out that the *q-hierarchical* queries of
+Berkholz, Keppeler, and Schweikardt [8] are exactly the self-join-free
+conjunctive queries admitting constant-time single-tuple updates — the
+Housing star join is the running example.  This module implements the test
+and a complexity sketch per updatable relation, used in documentation,
+tests, and to explain benchmark shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.query import Query
+from repro.core.variable_order import VariableOrder
+from repro.core.view_tree import ViewTree, build_view_tree
+
+__all__ = ["is_hierarchical", "is_q_hierarchical", "update_cost_sketch"]
+
+
+def _atoms(query: Query, variable: str) -> frozenset:
+    return frozenset(query.relations_with(variable))
+
+
+def is_hierarchical(query: Query) -> bool:
+    """Whether for every pair of variables, atoms(X) and atoms(Y) are
+    comparable or disjoint (the hierarchical property)."""
+    variables = query.variables
+    for i, x in enumerate(variables):
+        ax = _atoms(query, x)
+        for y in variables[i + 1:]:
+            ay = _atoms(query, y)
+            if ax & ay and not (ax <= ay or ay <= ax):
+                return False
+    return True
+
+
+def is_q_hierarchical(query: Query) -> bool:
+    """Whether the query is q-hierarchical [8]: hierarchical, and no free
+    variable's atom set is strictly contained in a bound variable's.
+
+    q-hierarchical self-join-free queries are exactly those maintainable
+    with O(1) single-tuple updates (e.g. the Housing star join); for
+    anything else some update takes time polynomial in the database.
+    """
+    if not is_hierarchical(query):
+        return False
+    free = set(query.free)
+    for x in query.variables:
+        if x not in free:
+            continue
+        ax = _atoms(query, x)
+        for y in query.variables:
+            if y in free:
+                continue
+            ay = _atoms(query, y)
+            if ax < ay:
+                return False
+    return True
+
+
+def update_cost_sketch(
+    query: Query,
+    order: Optional[VariableOrder] = None,
+    tree: Optional[ViewTree] = None,
+) -> Dict[str, str]:
+    """Per-relation single-tuple update cost over a view tree.
+
+    A single-tuple update to R binds all of R's variables.  Walking R's
+    leaf-to-root path, the delta at each view ranges over the view's key
+    variables not bound so far; if every view on the path is fully bound
+    the update is O(1), otherwise it is O(|D|^k) with k the maximum number
+    of unbound key variables (a coarse but honest bound, matching the
+    paper's O(1)-for-S / linear-for-R-and-T analysis of Example 1.1).
+    """
+    tree = tree or build_view_tree(query, order)
+    sketch: Dict[str, str] = {}
+    for rel, schema in query.relations.items():
+        bound: Set[str] = set(schema)
+        worst = 0
+        for node in tree.path_to_root(rel):
+            unbound = set(node.keys) - bound
+            worst = max(worst, len(unbound))
+        sketch[rel] = "O(1)" if worst == 0 else f"O(N^{worst})"
+    return sketch

@@ -1,0 +1,584 @@
+"""The F-IVM engine: factorized higher-order incremental view maintenance.
+
+Ties the pieces together (Sections 3–5 of the paper):
+
+* builds the view tree τ(ω, F) for the query (Figure 3),
+* decides which views µ(τ, U) materializes (Figure 5),
+* compiles, for every possible delta entry point, a *delta-join plan* that
+  probes materialized sibling views through secondary indexes — the
+  operational form of the delta trees of Figure 4 — so a single-tuple update
+  costs time proportional to the matched keys, not to view sizes,
+* executes update triggers: list-form deltas via :meth:`apply_update`,
+  factorizable (rank-1/rank-r) deltas via :meth:`apply_factorized_update`
+  with marginalization pushed past joins (the ``Optimize`` step, Section 5),
+* maintains indicator projections for cyclic queries (Appendix B), with
+  changes propagated along their own leaf-to-root paths in sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.factorized_update import FactorizedUpdate
+from repro.core.materialization import delta_sources, materialization_flags
+from repro.core.query import Query
+from repro.core.variable_order import VariableOrder
+from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
+from repro.data.database import Database
+from repro.data.indicator import IndicatorView
+from repro.data.relation import Relation
+
+__all__ = ["FIVMEngine"]
+
+#: A delta source at a node: ("child", i) for the i-th child subtree,
+#: ("ind", i) for the i-th hosted indicator projection.
+Source = Tuple[str, int]
+
+
+class _PlanStep:
+    """One probe in a delta-join plan: extend bindings from a target."""
+
+    __slots__ = ("kind", "index", "probe_attrs", "extend_attrs", "aggregated")
+
+    def __init__(
+        self,
+        kind: str,
+        index: int,
+        probe_attrs: Tuple[str, ...],
+        extend_attrs: Tuple[str, ...],
+    ):
+        self.kind = kind  # "child" or "ind"
+        self.index = index
+        self.probe_attrs = probe_attrs  # shared attrs, in target schema order
+        self.extend_attrs = extend_attrs  # new attrs contributed by target
+        #: When the extended attributes are never used downstream (not in
+        #: the output keys, not lifted, not probed by later steps), the step
+        #: reads the bucket's payload *sum* instead of iterating matches —
+        #: a group-aware join (pre-aggregated sibling lookup).
+        self.aggregated = False
+
+
+class FIVMEngine:
+    """Maintains a join-aggregate query result under updates.
+
+    Parameters
+    ----------
+    query:
+        The join-aggregate query (ring + lifting functions included).
+    order:
+        Variable order; derived heuristically when omitted.
+    updatable:
+        Relations that may receive updates (default: all).  Fewer updatable
+        relations mean fewer materialized views (the paper's ONE scenarios).
+    tree:
+        A pre-built (possibly indicator-adorned) view tree; overrides
+        ``order``.
+    db:
+        Initial database contents; omitted means starting from empty
+        relations (the streaming scenario).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        order: Optional[VariableOrder] = None,
+        updatable: Optional[Iterable[str]] = None,
+        tree: Optional[ViewTree] = None,
+        db: Optional[Database] = None,
+        collapse_chains: bool = True,
+        materialize: str = "auto",
+        group_aware: bool = True,
+    ):
+        self.query = query
+        #: Whether probes may read per-bucket payload sums (group-aware
+        #: joins).  On by default; exposed for ablation benchmarks.
+        self.group_aware = group_aware
+        self.tree = tree or build_view_tree(
+            query, order, collapse_chains=collapse_chains
+        )
+        self.updatable = (
+            frozenset(updatable) if updatable is not None
+            else frozenset(query.relations)
+        )
+        if materialize == "all":
+            # Factorized result representations live in *all* views
+            # (Section 6.3): the hierarchy of payloads is the result.
+            self.flags = {node.name: True for node in self.tree.nodes}
+        elif materialize == "auto":
+            self.flags = materialization_flags(self.tree, self.updatable)
+        else:
+            raise ValueError("materialize must be 'auto' or 'all'")
+        self._sources = delta_sources(self.tree, self.updatable)
+        self.views: Dict[str, Relation] = {}
+        for node in self.tree.nodes:
+            if self.flags[node.name]:
+                self.views[node.name] = Relation(
+                    node.name, node.keys, query.ring
+                )
+        # Indicator views (stateful count-based maintenance), per node.
+        self._indicator_views: Dict[str, List[IndicatorView]] = {}
+        for node in self.tree.nodes:
+            if node.indicators:
+                self._indicator_views[node.name] = [
+                    IndicatorView(
+                        spec.base_name,
+                        query.schema_of(spec.base_name),
+                        spec.attrs,
+                        query.ring,
+                        spec.name,
+                    )
+                    for spec in node.indicators
+                ]
+        self._child_pos: Dict[str, Dict[str, int]] = {
+            node.name: {c.name: i for i, c in enumerate(node.children)}
+            for node in self.tree.nodes
+            if not node.is_leaf
+        }
+        self._plans: Dict[Tuple[str, Source], List[_PlanStep]] = {}
+        self._compile_plans()
+        if db is not None:
+            self.initialize(db)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _indicators_at(self, node: ViewNode) -> List[IndicatorView]:
+        return self._indicator_views.get(node.name, [])
+
+    def _compile_plans(self) -> None:
+        """Build one delta-join plan per (node, delta entry point) and
+        register the secondary indexes the probes need."""
+        for node in self.tree.nodes:
+            if node.is_leaf:
+                continue
+            live_children = [
+                i
+                for i, child in enumerate(node.children)
+                if self._sources[child.name]
+            ]
+            live_inds = [
+                i
+                for i, spec in enumerate(node.indicators)
+                if spec.base_name in self.updatable
+            ]
+            for i in live_children:
+                self._plans[(node.name, ("child", i))] = self._plan(
+                    node, ("child", i)
+                )
+            for i in live_inds:
+                self._plans[(node.name, ("ind", i))] = self._plan(
+                    node, ("ind", i)
+                )
+
+    def _plan(self, node: ViewNode, source: Source) -> List[_PlanStep]:
+        kind, idx = source
+        if kind == "child":
+            accumulated = set(node.children[idx].keys)
+        else:
+            accumulated = set(node.indicators[idx].attrs)
+        pending: List[Tuple[str, int, Tuple[str, ...]]] = []
+        for i, child in enumerate(node.children):
+            if not (kind == "child" and i == idx):
+                pending.append(("child", i, child.keys))
+        for i, spec in enumerate(node.indicators):
+            if not (kind == "ind" and i == idx):
+                pending.append(("ind", i, spec.attrs))
+
+        steps: List[_PlanStep] = []
+        while pending:
+            # Prefer the target sharing the most attributes with what we
+            # already have (greedy left-deep plan); deterministic tie-break.
+            def overlap(entry: Tuple[str, int, Tuple[str, ...]]) -> int:
+                return len(accumulated & set(entry[2]))
+
+            best = max(
+                range(len(pending)),
+                key=lambda i: (overlap(pending[i]), -i),
+            )
+            t_kind, t_idx, t_schema = pending.pop(best)
+            probe_attrs = tuple(a for a in t_schema if a in accumulated)
+            extend_attrs = tuple(a for a in t_schema if a not in accumulated)
+            steps.append(_PlanStep(t_kind, t_idx, probe_attrs, extend_attrs))
+            accumulated |= set(t_schema)
+
+        # Mark group-aware steps: a target whose extended attributes are not
+        # in the node's keys, not lifted during marginalization, and not
+        # probed by a later step can be read as one pre-aggregated sum.
+        lifted = {
+            var for var in node.marginalized
+            if self.query.lifting.get(var) is not None
+        }
+        for i, step in enumerate(steps):
+            if not self.group_aware:
+                break
+            needed = set(node.keys) | lifted
+            for later in steps[i + 1:]:
+                needed |= set(later.probe_attrs)
+            step.aggregated = not (set(step.extend_attrs) & needed)
+
+        # Register the indexes the probes will use on the stored targets.
+        for step in steps:
+            target = self._plan_target_relation(node, step)
+            if step.probe_attrs and step.probe_attrs != target.schema:
+                target.register_index(step.probe_attrs)
+        return steps
+
+    def _plan_target_relation(self, node: ViewNode, step: _PlanStep) -> Relation:
+        if step.kind == "ind":
+            return self._indicators_at(node)[step.index].relation
+        child = node.children[step.index]
+        stored = self.views.get(child.name)
+        if stored is None:
+            raise RuntimeError(
+                f"delta propagation through {node.name} needs sibling "
+                f"{child.name} materialized; µ should have flagged it"
+            )
+        return stored
+
+    # ------------------------------------------------------------------
+    # Initialization / recomputation
+    # ------------------------------------------------------------------
+
+    def initialize(self, db: Database) -> None:
+        """(Re)load all materialized views from a database snapshot."""
+        for view in self.views.values():
+            view.clear()
+
+        def evaluate(node: ViewNode) -> Relation:
+            if node.is_leaf:
+                contents = db.relation(node.leaf_of)
+                if self.flags[node.name]:
+                    self.views[node.name].absorb(contents)
+                return contents
+            child_contents = [evaluate(child) for child in node.children]
+            ind_contents = []
+            for iv in self._indicators_at(node):
+                iv.reset_from(db.relation(iv.base_name))
+                ind_contents.append(iv.relation)
+            contents = compute_view(node, child_contents, self.query, ind_contents)
+            if self.flags[node.name]:
+                self.views[node.name].absorb(contents)
+            return contents
+
+        evaluate(self.tree.root)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def result(self) -> Relation:
+        """The maintained query result (the root view)."""
+        return self.views[self.tree.root.name]
+
+    def contents(self, view_name: str) -> Relation:
+        """Contents of a materialized view by name."""
+        return self.views[view_name]
+
+    def materialized_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.views))
+
+    def view_sizes(self) -> Dict[str, int]:
+        """Number of keys per materialized view (logical memory)."""
+        sizes = {name: len(view) for name, view in self.views.items()}
+        for ivs in self._indicator_views.values():
+            for iv in ivs:
+                sizes[iv.name] = len(iv.relation)
+        return sizes
+
+    def total_keys(self) -> int:
+        return sum(self.view_sizes().values())
+
+    def view_count(self) -> int:
+        """Number of materialized non-leaf views (paper's view counts)."""
+        leaf_names = {leaf.name for leaf in self.tree.leaves.values()}
+        return sum(1 for name in self.views if name not in leaf_names)
+
+    # ------------------------------------------------------------------
+    # Update triggers
+    # ------------------------------------------------------------------
+
+    def apply_update(self, delta: Relation) -> Relation:
+        """Apply ``R := R ⊎ δR`` and maintain all views; returns the root
+        delta (total change of the query result)."""
+        rel = delta.name
+        if rel not in self.updatable:
+            raise KeyError(f"relation {rel!r} is not updatable")
+        leaf = self.tree.leaves[rel]
+        if delta.schema != leaf.keys:
+            raise ValueError(
+                f"delta schema {delta.schema} != {leaf.keys} of {rel}"
+            )
+        root = self.tree.root
+        empty_root_delta = Relation(root.name, root.keys, self.query.ring)
+        if delta.is_empty:
+            return empty_root_delta
+
+        # 1. Compute indicator deltas against the pre-update base state.
+        ind_tasks: List[Tuple[ViewNode, int, IndicatorView, Relation]] = []
+        for node in self.tree.nodes:
+            for i, iv in enumerate(self._indicators_at(node)):
+                if iv.base_name == rel:
+                    base = self.views.get(self.tree.leaves[rel].name)
+                    if base is None:
+                        raise RuntimeError(
+                            f"indicator over {rel} needs its base stored"
+                        )
+                    ind_tasks.append((node, i, iv, iv.compute_delta(delta, base)))
+
+        # 2. Absorb the delta into the stored base copy (if stored).
+        stored_base = self.views.get(leaf.name)
+        if stored_base is not None:
+            stored_base.absorb(delta)
+
+        # 3. Propagate along the relation's leaf-to-root path.
+        root_delta = self._propagate(leaf, delta)
+
+        # 4. Propagate each indicator delta along its host-to-root path, in
+        #    sequence, committing each before the next fires.
+        for node, i, iv, ind_delta in ind_tasks:
+            if not ind_delta.is_empty:
+                contribution = self._propagate_from_indicator(node, i, ind_delta)
+                root_delta = root_delta.union(contribution, name=root.name)
+            iv.commit(ind_delta)
+        return root_delta
+
+    def _propagate(self, start_child: ViewNode, delta: Relation) -> Relation:
+        prev, node = start_child, start_child.parent
+        cur = delta
+        while node is not None:
+            source: Source = ("child", self._child_pos[node.name][prev.name])
+            cur = self._delta_at_node(node, source, cur)
+            if self.flags[node.name]:
+                self.views[node.name].absorb(cur)
+            if cur.is_empty and node is not self.tree.root:
+                root = self.tree.root
+                return Relation(root.name, root.keys, self.query.ring)
+            prev, node = node, node.parent
+        return cur
+
+    def _propagate_from_indicator(
+        self, host: ViewNode, ind_index: int, ind_delta: Relation
+    ) -> Relation:
+        cur = self._delta_at_node(host, ("ind", ind_index), ind_delta)
+        if self.flags[host.name]:
+            self.views[host.name].absorb(cur)
+        if cur.is_empty and host is not self.tree.root:
+            root = self.tree.root
+            return Relation(root.name, root.keys, self.query.ring)
+        if host is self.tree.root:
+            return cur
+        return self._propagate(host, cur)
+
+    def _delta_at_node(
+        self, node: ViewNode, source: Source, delta: Relation
+    ) -> Relation:
+        """Evaluate the node's delta view for a delta entering at ``source``.
+
+        Implements the delta rules of Figure 4 operationally: the delta's
+        bindings are extended by probing each materialized sibling (and
+        indicator) through its index, payloads are multiplied in child order
+        (non-commutative safe), the node's bound variables are lifted and
+        summed out, and the result lands in the node's key schema.
+        """
+        plan = self._plans[(node.name, source)]
+        ring = self.query.ring
+        mul = ring.mul
+        out = Relation(node.name, node.keys, ring)
+        kind, idx = source
+        n_children = len(node.children)
+        lift_entries = [
+            (var, self.query.lifting.get(var)) for var in node.marginalized
+        ]
+        out_attrs = node.keys
+
+        # Resolve plan targets once per call.
+        targets = [self._plan_target_relation(node, step) for step in plan]
+        if kind == "child":
+            source_attrs = node.children[idx].keys
+        else:
+            source_attrs = node.indicators[idx].attrs
+
+        for key, payload in delta.items():
+            binding = dict(zip(source_attrs, key))
+            slots: List[object] = [None] * n_children
+            sign = None
+            if kind == "child":
+                slots[idx] = payload
+            else:
+                sign = payload  # ±1; central, so order-independent
+            stack = [(0, binding, slots)]
+            while stack:
+                depth, bnd, sl = stack.pop()
+                if depth == len(plan):
+                    value = ring.one
+                    first = True
+                    for slot in sl:
+                        if slot is None:
+                            continue
+                        value = slot if first else mul(value, slot)
+                        first = False
+                    if sign is not None:
+                        value = mul(value, sign)
+                    for var, lift in lift_entries:
+                        if lift is not None:
+                            value = mul(value, lift(bnd[var]))
+                    out.add(tuple(bnd[a] for a in out_attrs), value)
+                    continue
+                step = plan[depth]
+                target = targets[depth]
+                subkey = tuple(bnd[a] for a in step.probe_attrs)
+                if step.aggregated:
+                    # Group-aware probe: one pre-aggregated payload stands
+                    # for the whole bucket (extends nothing downstream).
+                    total = target.lookup_sum(step.probe_attrs, subkey)
+                    if ring.is_zero(total):
+                        continue
+                    new_sl = list(sl)
+                    if step.kind == "child":
+                        new_sl[step.index] = total
+                    else:
+                        # Indicator entries carry payload 1 each; their sum
+                        # is the match count, which multiplies in centrally.
+                        new_sl.append(total)
+                    stack.append((depth + 1, bnd, new_sl))
+                    continue
+                for tkey, tpayload in target.lookup(step.probe_attrs, subkey):
+                    new_bnd = dict(bnd)
+                    for attr, value in zip(target.schema, tkey):
+                        new_bnd[attr] = value
+                    if step.kind == "child":
+                        new_sl = list(sl)
+                        new_sl[step.index] = tpayload
+                    else:
+                        new_sl = sl  # indicators carry payload 1: pure filter
+                    stack.append((depth + 1, new_bnd, new_sl))
+        return out
+
+    def apply_decomposed_update(self, delta: Relation) -> Relation:
+        """Decompose a listing delta into factors, then propagate factored.
+
+        The product decomposition of Example 5.1: when the delta factorizes
+        (e.g. a full row/column change), this routes it through the
+        factorized path automatically; otherwise it degrades gracefully to
+        the listing trigger.
+        """
+        from repro.core.factorized_update import decompose
+
+        if not self.query.ring.is_commutative or delta.is_empty:
+            return self.apply_update(delta)
+        update = decompose(delta)
+        if len(update.terms[0]) <= 1:
+            return self.apply_update(delta)
+        return self.apply_factorized_update(update)
+
+    # ------------------------------------------------------------------
+    # Factorizable updates (Section 5)
+    # ------------------------------------------------------------------
+
+    def apply_factorized_update(self, update: FactorizedUpdate) -> Relation:
+        """Apply a factorizable delta, keeping it in product form.
+
+        Marginalization is pushed into the factor holding each variable and
+        sibling views are merged only into the factors they share attributes
+        with; a Cartesian product is materialized only where a view must
+        absorb the delta (typically just the root).  Requires a commutative
+        ring (factor reordering).
+        """
+        if not self.query.ring.is_commutative:
+            raise ValueError(
+                "factorized updates require a commutative payload ring"
+            )
+        rel = update.relation
+        if rel not in self.updatable:
+            raise KeyError(f"relation {rel!r} is not updatable")
+        leaf = self.tree.leaves[rel]
+        observed = any(
+            iv.base_name == rel
+            for ivs in self._indicator_views.values()
+            for iv in ivs
+        )
+        if observed:
+            # Indicators need listing-form deltas to track support changes;
+            # fall back to the general trigger.
+            return self.apply_update(update.flatten(leaf.keys, name=rel))
+
+        stored_base = self.views.get(leaf.name)
+        root = self.tree.root
+        total = Relation(root.name, root.keys, self.query.ring)
+        for term in update.terms:
+            if stored_base is not None:
+                stored_base.absorb(
+                    FactorizedUpdate.rank_one(rel, term).flatten(
+                        leaf.keys, name=rel
+                    )
+                )
+            contribution = self._propagate_factored(leaf, list(term))
+            total = total.union(contribution, name=root.name)
+        return total
+
+    def _propagate_factored(
+        self, leaf: ViewNode, factors: List[Relation]
+    ) -> Relation:
+        lifting = self.query.lifting
+        prev, node = leaf, leaf.parent
+        flat: Optional[Relation] = None
+        while node is not None:
+            # Join in each materialized sibling (and indicator) by merging it
+            # with the factors it shares attributes with.
+            for child in node.children:
+                if child is prev:
+                    continue
+                factors = _merge_factor(factors, self.views[child.name])
+            for iv in self._indicators_at(node):
+                factors = _merge_factor(factors, iv.relation)
+            # Push each marginalization into the factor holding the variable.
+            for var in node.marginalized:
+                for i, factor in enumerate(factors):
+                    if var in factor.schema:
+                        factors[i] = factor.marginalize(
+                            [var], lifting.table()
+                        )
+                        break
+                else:
+                    raise RuntimeError(
+                        f"variable {var} not found in any delta factor"
+                    )
+            if any(f.is_empty for f in factors):
+                root = self.tree.root
+                return Relation(root.name, root.keys, self.query.ring)
+            if self.flags[node.name]:
+                flat = _flatten_factors(factors, node.keys, node.name)
+                self.views[node.name].absorb(flat)
+            prev, node = node, node.parent
+        assert flat is not None, "the root is always materialized"
+        return flat
+
+
+def _merge_factor(factors: List[Relation], sibling: Relation) -> List[Relation]:
+    """Join ``sibling`` into the factor list, combining shared-attr factors."""
+    sibling_attrs = set(sibling.schema)
+    sharing = [f for f in factors if sibling_attrs & set(f.schema)]
+    rest = [f for f in factors if not (sibling_attrs & set(f.schema))]
+    combined = sibling
+    for factor in sharing:
+        combined = combined.join(factor)
+    return rest + [combined]
+
+
+def _flatten_factors(
+    factors: Sequence[Relation], keys: Tuple[str, ...], name: str
+) -> Relation:
+    """Materialize the product of factors and normalize to ``keys`` order."""
+    product = factors[0]
+    for factor in factors[1:]:
+        product = product.join(factor)
+    if set(product.schema) != set(keys):
+        raise RuntimeError(
+            f"flattened delta schema {product.schema} != view keys {keys}"
+        )
+    if product.schema != keys:
+        product = product.reorder(keys, name=name)
+    else:
+        product = product.copy(name=name)
+    return product

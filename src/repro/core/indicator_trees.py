@@ -1,0 +1,75 @@
+"""Extending view trees with indicator projections (Figure 10, Appendix B).
+
+For cyclic queries, a view defined over a strict subset of the relations can
+be asymptotically larger than the query result (Example B.1: the view over
+S ⊗ T in the triangle query has O(N²) keys).  Joining in an *indicator
+projection* ``∃_pk R`` of an absent relation closes the cycle and bounds the
+view at O(N) without changing the query result, since indicator payloads
+are 1.
+
+``add_indicator_projections`` traverses the tree bottom-up; at each view it
+collects candidate indicators — relations not used by the view that share
+attributes with its children — and attaches exactly those that the GYO
+reduction places in a cyclic core together with the children.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.hypergraph import gyo_residual
+from repro.core.view_tree import ViewNode, ViewTree
+
+__all__ = ["IndicatorSpec", "add_indicator_projections"]
+
+
+class IndicatorSpec:
+    """A planned indicator projection attached to a view node."""
+
+    __slots__ = ("base_name", "attrs", "name")
+
+    def __init__(self, base_name: str, attrs: Tuple[str, ...], name: str = ""):
+        self.base_name = base_name
+        self.attrs = tuple(attrs)
+        self.name = name or f"exists_{''.join(self.attrs)}_{base_name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"∃_{{{', '.join(self.attrs)}}} {self.base_name}"
+
+
+def add_indicator_projections(tree: ViewTree) -> ViewTree:
+    """Adorn ``tree`` with indicator projections per the I(τ) algorithm.
+
+    Mutates the nodes' ``indicators`` lists in place and returns the tree.
+    Must be applied before an engine is built over the tree (materialization
+    decisions depend on the indicators).
+    """
+    query = tree.query
+    all_relations = set(query.relations)
+
+    def visit(node: ViewNode) -> None:
+        for child in node.children:
+            visit(child)
+        if node.is_leaf or len(node.children) < 2:
+            return
+        joint = set()
+        for child in node.children:
+            joint |= set(child.keys)
+        child_edges = [(f"child:{c.name}", tuple(c.keys)) for c in node.children]
+        candidates: List[Tuple[str, Tuple[str, ...]]] = []
+        for rel in sorted(all_relations - set(node.relations)):
+            pk = tuple(a for a in query.schema_of(rel) if a in joint)
+            if pk:
+                candidates.append((f"ind:{rel}", pk))
+        if not candidates:
+            return
+        residual = {
+            label for label, _ in gyo_residual(child_edges + candidates)
+        }
+        for label, pk in candidates:
+            if label in residual:
+                rel = label.split(":", 1)[1]
+                node.indicators.append(IndicatorSpec(rel, pk))
+
+    visit(tree.root)
+    return tree

@@ -1,0 +1,15 @@
+"""Data model: relations over rings, databases, indicator views."""
+
+from repro.data.database import Database
+from repro.data.indicator import IndicatorView
+from repro.data.relation import Relation
+from repro.data.schema import SchemaError, as_schema, merge_schemas
+
+__all__ = [
+    "Relation",
+    "Database",
+    "IndicatorView",
+    "SchemaError",
+    "as_schema",
+    "merge_schemas",
+]

@@ -1,0 +1,70 @@
+"""Databases: named collections of relations over a common ring."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.data.relation import Relation
+from repro.data.schema import SchemaError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of relations over the same ring (Section 2).
+
+    ``|D|`` (:attr:`size`) is the sum of the relation sizes, as in the paper.
+    """
+
+    def __init__(self, relations: Optional[Iterable[Relation]] = None):
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations or ():
+            self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation (names must be unique)."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(
+                f"no relation {name!r}; have {sorted(self._relations)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    @property
+    def size(self) -> int:
+        """Total number of keys with non-zero payloads across relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def schemas(self) -> Mapping[str, Tuple[str, ...]]:
+        """Map of relation name to schema, used to derive join hypergraphs."""
+        return {name: rel.schema for name, rel in self._relations.items()}
+
+    def apply_update(self, delta: Relation) -> None:
+        """Apply ``R := R ⊎ δR`` for the relation named like ``delta``."""
+        self.relation(delta.name).absorb(delta)
+
+    def copy(self) -> "Database":
+        """A database with copies of all relations (payloads shared)."""
+        return Database(rel.copy() for rel in self)

@@ -1,0 +1,478 @@
+"""Relations over rings: finitely supported maps from keys to payloads.
+
+This is the paper's data model (Section 2): a relation ``R`` over schema
+``S`` and ring ``D`` is a function ``Dom(S) → D`` that is non-zero on
+finitely many tuples.  Keys with payload ``0`` are eagerly dropped, so
+``t ∈ R`` iff ``R[t] ≠ 0`` and ``|R|`` matches the paper's size notion.
+
+The three query-language operators are methods here:
+
+* ``⊎`` (union):           :meth:`Relation.union` — pointwise payload ``+``;
+* ``⊗`` (natural join):    :meth:`Relation.join` — payload ``*`` on matches;
+* ``⊕_X`` (marginalization): :meth:`Relation.marginalize` — group by the
+  remaining attributes, multiplying payloads by the lifting function of the
+  marginalized variable.
+
+The ring is duck-typed (any object with ``zero/one/add/mul/neg/is_zero``);
+this module deliberately avoids importing :mod:`repro.rings` so that ring
+implementations (e.g. the relational data ring) can themselves build nested
+relations without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.data.schema import (
+    SchemaError,
+    as_schema,
+    key_projector,
+    merge_schemas,
+)
+
+__all__ = ["Relation"]
+
+Payload = Any
+Key = Tuple[Any, ...]
+LiftFn = Callable[[Any], Payload]
+
+
+class Relation:
+    """A finitely supported map from keys (tuples over a schema) to payloads."""
+
+    __slots__ = ("name", "schema", "ring", "_data", "_indexes")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Iterable[str],
+        ring,
+        data: Optional[Mapping[Key, Payload]] = None,
+    ):
+        self.name = name
+        self.schema = as_schema(schema)
+        self.ring = ring
+        self._data: Dict[Key, Payload] = {}
+        #: Secondary indexes: attrs → (projector, {subkey → {key → payload}}).
+        #: Registered by the IVM engine on materialized views so delta joins
+        #: probe rather than scan (the paper's multi-indexed maps).
+        self._indexes: Dict[Tuple[str, ...], tuple] = {}
+        if data:
+            width = len(self.schema)
+            for key, payload in data.items():
+                key = tuple(key)
+                if len(key) != width:
+                    raise SchemaError(
+                        f"key {key} does not match schema {self.schema}"
+                    )
+                if not ring.is_zero(payload):
+                    self._data[key] = payload
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        name: str,
+        schema: Iterable[str],
+        ring,
+        tuples: Iterable[Sequence[Any]],
+        payload: Optional[Payload] = None,
+    ) -> "Relation":
+        """Build a relation mapping each tuple to ``payload`` (default ``1``).
+
+        Repeated tuples accumulate (payloads add up), matching multiset
+        semantics under the ℤ ring.
+        """
+        rel = cls(name, schema, ring)
+        value = ring.one if payload is None else payload
+        for row in tuples:
+            rel.add(tuple(row), value)
+        return rel
+
+    @classmethod
+    def empty(cls, name: str, schema: Iterable[str], ring) -> "Relation":
+        """The empty relation (maps every tuple to ``0``)."""
+        return cls(name, schema, ring)
+
+    def spawn(self, name: str, schema: Iterable[str]) -> "Relation":
+        """An empty relation over the same ring with a new name/schema."""
+        return Relation(name, schema, self.ring)
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """A shallow copy (payloads are shared; they are treated immutably)."""
+        out = Relation(name or self.name, self.schema, self.ring)
+        out._data = dict(self._data)
+        return out
+
+    # ------------------------------------------------------------------
+    # Lookup and mutation
+    # ------------------------------------------------------------------
+
+    def payload(self, key: Key) -> Payload:
+        """``R[t]``: the payload of ``key`` (ring zero when absent)."""
+        return self._data.get(tuple(key), self.ring.zero)
+
+    def __getitem__(self, key: Key) -> Payload:
+        return self.payload(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return tuple(key) in self._data
+
+    def add(self, key: Key, payload: Payload) -> None:
+        """Accumulate ``payload`` onto ``key`` in place, dropping zeros.
+
+        This is the single mutation primitive; maintenance (``V := V ⊎ δV``)
+        and bulk loading are built on it.  Registered secondary indexes are
+        kept in sync.
+        """
+        ring = self.ring
+        if ring.is_zero(payload):
+            return
+        data = self._data
+        current = data.get(key)
+        if current is None:
+            data[key] = payload
+            if self._indexes:
+                self._index_set(key, payload, payload)
+            return
+        merged = ring.add(current, payload)
+        if ring.is_zero(merged):
+            del data[key]
+            if self._indexes:
+                self._index_drop(key, ring.neg(current))
+        else:
+            data[key] = merged
+            if self._indexes:
+                self._index_set(key, merged, payload)
+
+    # ------------------------------------------------------------------
+    # Secondary indexes (multi-indexed maps, as in DBToaster's runtime)
+    # ------------------------------------------------------------------
+
+    def register_index(self, attrs: Sequence[str]) -> None:
+        """Maintain a secondary index on ``attrs`` from now on.
+
+        An index maps each projection subkey to the bucket of (key, payload)
+        entries sharing it, letting delta joins probe this relation in time
+        proportional to the matches instead of scanning it.  Each bucket
+        also maintains the ring sum of its payloads, so group-aware joins
+        (``lookup_sum``) touch one value instead of the whole bucket.
+        """
+        attrs = tuple(attrs)
+        if attrs == self.schema or attrs in self._indexes:
+            return  # the primary map already serves full-key lookups
+        projector = key_projector(self.schema, attrs)
+        buckets: Dict[tuple, Dict[Key, Payload]] = {}
+        sums: Dict[tuple, Payload] = {}
+        ring = self.ring
+        for key, payload in self._data.items():
+            subkey = projector(key)
+            buckets.setdefault(subkey, {})[key] = payload
+            current = sums.get(subkey)
+            sums[subkey] = payload if current is None else ring.add(current, payload)
+        self._indexes[attrs] = (projector, buckets, sums)
+
+    def lookup(self, attrs: Tuple[str, ...], subkey: tuple):
+        """Entries whose projection on ``attrs`` equals ``subkey``.
+
+        Falls back to the primary map for full-schema lookups; raises if no
+        index was registered for a proper subset of attributes (the engine
+        registers every index it needs up front).
+        """
+        if attrs == self.schema:
+            payload = self._data.get(subkey)
+            return ((subkey, payload),) if payload is not None else ()
+        if not attrs:
+            return self._data.items()
+        entry = self._indexes.get(attrs)
+        if entry is None:
+            raise KeyError(
+                f"relation {self.name!r} has no index on {attrs}"
+            )
+        bucket = entry[1].get(subkey)
+        return bucket.items() if bucket else ()
+
+    def lookup_sum(self, attrs: Tuple[str, ...], subkey: tuple) -> Payload:
+        """Ring sum of the payloads matching ``subkey`` on ``attrs``.
+
+        The group-aware probe: when a delta join needs a sibling view only
+        up to these attributes (no downstream use of the rest), one lookup
+        replaces iterating the whole bucket — this is how star-join roots
+        stay O(1) per update.
+        """
+        if attrs == self.schema:
+            payload = self._data.get(subkey)
+            return payload if payload is not None else self.ring.zero
+        if not attrs:
+            return self.ring.sum(self._data.values())
+        entry = self._indexes.get(attrs)
+        if entry is None:
+            raise KeyError(
+                f"relation {self.name!r} has no index on {attrs}"
+            )
+        total = entry[2].get(subkey)
+        return total if total is not None else self.ring.zero
+
+    def _index_set(self, key: Key, payload: Payload, delta: Payload) -> None:
+        ring = self.ring
+        for projector, buckets, sums in self._indexes.values():
+            subkey = projector(key)
+            buckets.setdefault(subkey, {})[key] = payload
+            current = sums.get(subkey)
+            sums[subkey] = delta if current is None else ring.add(current, delta)
+
+    def _index_drop(self, key: Key, delta: Payload) -> None:
+        ring = self.ring
+        for projector, buckets, sums in self._indexes.values():
+            subkey = projector(key)
+            bucket = buckets.get(subkey)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del buckets[subkey]
+                    sums.pop(subkey, None)
+                    continue
+            current = sums.get(subkey)
+            if current is not None:
+                # The bucket is still non-empty; keep the (possibly zero)
+                # cancelled sum so lookups stay consistent.
+                sums[subkey] = ring.add(current, delta)
+
+    def absorb(self, delta: "Relation") -> None:
+        """In-place union: ``self := self ⊎ delta`` (schemas must agree)."""
+        if delta.schema != self.schema:
+            raise SchemaError(
+                f"cannot absorb {delta.schema} into {self.schema}"
+            )
+        for key, payload in delta.items():
+            self.add(key, payload)
+
+    def clear(self) -> None:
+        """Remove all keys (registered indexes are emptied too)."""
+        self._data.clear()
+        for _, buckets, sums in self._indexes.values():
+            buckets.clear()
+            sums.clear()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Key, Payload]]:
+        return iter(self._data.items())
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._data.keys())
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._data
+
+    def total(self) -> Payload:
+        """Sum of all payloads (the full aggregate with no group-by)."""
+        return self.ring.sum(self._data.values())
+
+    def same_as(self, other: "Relation") -> bool:
+        """Ring-aware equality: same schema, same keys, equal payloads."""
+        if self.schema != other.schema or len(self) != len(other):
+            return False
+        ring = self.ring
+        for key, payload in self._data.items():
+            if key not in other._data:
+                return False
+            if not ring.eq(payload, other._data[key]):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name}{list(self.schema)}, {len(self)} keys)"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small table rendering, handy in examples and error messages."""
+        header = f"{self.name}[{', '.join(self.schema)}]"
+        lines = [header]
+        for i, (key, payload) in enumerate(sorted(self._data.items(), key=repr)):
+            if i >= limit:
+                lines.append(f"  ... ({len(self) - limit} more)")
+                break
+            lines.append(f"  {key} -> {payload}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Ring-level operators (Section 2)
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """``self ⊎ other``: pointwise payload addition."""
+        if other.schema != self.schema:
+            raise SchemaError(
+                f"union over different schemas: {self.schema} vs {other.schema}"
+            )
+        out = self.copy(name or f"({self.name}+{other.name})")
+        for key, payload in other.items():
+            out.add(key, payload)
+        return out
+
+    def negate(self, name: Optional[str] = None) -> "Relation":
+        """The relation mapping each key to the additive inverse payload."""
+        out = Relation(name or f"(-{self.name})", self.schema, self.ring)
+        neg = self.ring.neg
+        out._data = {key: neg(payload) for key, payload in self._data.items()}
+        return out
+
+    def join(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """``self ⊗ other``: natural join with payload multiplication.
+
+        Payload order is ``self * other`` (left to right), which matters for
+        non-commutative rings such as matrix payloads.
+        """
+        out_schema = merge_schemas(self.schema, other.schema)
+        out = Relation(name or f"({self.name}*{other.name})", out_schema, self.ring)
+        common = tuple(a for a in self.schema if a in set(other.schema))
+        mul = self.ring.mul
+
+        if not common:
+            # Cartesian product; delta optimization (Section 5) avoids
+            # materializing these except at small final results.
+            for lkey, lpay in self._data.items():
+                for rkey, rpay in other._data.items():
+                    out.add(lkey + rkey, mul(lpay, rpay))
+            return out
+
+        # Hash join: index the smaller side on the common attributes.
+        build, probe = (self, other) if len(self) <= len(other) else (other, self)
+        build_common = key_projector(build.schema, common)
+        probe_common = key_projector(probe.schema, common)
+        index: Dict[tuple, list] = {}
+        for key, payload in build._data.items():
+            index.setdefault(build_common(key), []).append((key, payload))
+
+        left_is_build = build is self
+        right_residual = tuple(a for a in other.schema if a not in set(self.schema))
+        left_proj = key_projector(self.schema, self.schema)
+        right_proj = key_projector(other.schema, right_residual)
+        for pkey, ppay in probe._data.items():
+            matches = index.get(probe_common(pkey))
+            if not matches:
+                continue
+            for bkey, bpay in matches:
+                if left_is_build:
+                    lkey, lpay, rkey, rpay = bkey, bpay, pkey, ppay
+                else:
+                    lkey, lpay, rkey, rpay = pkey, ppay, bkey, bpay
+                out.add(left_proj(lkey) + right_proj(rkey), mul(lpay, rpay))
+        return out
+
+    def marginalize(
+        self,
+        variables: Sequence[str],
+        lifting: Optional[Mapping[str, LiftFn]] = None,
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """``⊕_{X1} ... ⊕_{Xk} self``: aggregate the given variables away.
+
+        Each marginalized value is lifted into the ring (default: constant
+        ``1``) and multiplied onto the payload, innermost variable first, so
+        ``marginalize(["X", "Y"])`` equals ``⊕_Y (⊕_X self)``.
+        """
+        if not variables:
+            return self.copy(name or self.name)
+        var_set = set(variables)
+        if len(var_set) != len(variables):
+            raise SchemaError(f"duplicate variables to marginalize: {variables}")
+        remaining = tuple(a for a in self.schema if a not in var_set)
+        if len(remaining) + len(variables) != len(self.schema):
+            raise SchemaError(
+                f"variables {variables} not all in schema {self.schema}"
+            )
+        out = Relation(name or f"sum_{''.join(variables)}({self.name})", remaining, self.ring)
+        keep = key_projector(self.schema, remaining)
+        one = self.ring.one
+        mul = self.ring.mul
+        # Ordered positions of the marginalized variables; lifts applied in
+        # the order given (innermost-first semantics).
+        lifted = [
+            (self.schema.index(v), lifting.get(v) if lifting else None)
+            for v in variables
+        ]
+        for key, payload in self._data.items():
+            for position, lift in lifted:
+                if lift is not None:
+                    payload = mul(payload, lift(key[position]))
+            out.add(keep(key), payload)
+        return out
+
+    def group_by(
+        self,
+        attrs: Sequence[str],
+        lifting: Optional[Mapping[str, LiftFn]] = None,
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """Marginalize every variable *not* in ``attrs`` (schema order)."""
+        keep = set(attrs)
+        bound = [a for a in self.schema if a not in keep]
+        out = self.marginalize(bound, lifting, name)
+        if tuple(attrs) != out.schema:
+            out = out.reorder(attrs)
+        return out
+
+    def project(self, attrs: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Group by ``attrs`` summing payloads (no lifting); order follows ``attrs``."""
+        return self.group_by(attrs, None, name)
+
+    def reorder(self, attrs: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Reorder the schema columns to ``attrs`` (a permutation)."""
+        if set(attrs) != set(self.schema) or len(attrs) != len(self.schema):
+            raise SchemaError(f"{attrs} is not a permutation of {self.schema}")
+        proj = key_projector(self.schema, attrs)
+        out = Relation(name or self.name, attrs, self.ring)
+        out._data = {proj(key): payload for key, payload in self._data.items()}
+        return out
+
+    def rename(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "Relation":
+        """Rename attributes via ``mapping`` (missing names are unchanged)."""
+        schema = tuple(mapping.get(a, a) for a in self.schema)
+        out = Relation(name or self.name, schema, self.ring)
+        out._data = dict(self._data)
+        return out
+
+    def filter(
+        self, predicate: Callable[[Key], bool], name: Optional[str] = None
+    ) -> "Relation":
+        """Keep only keys satisfying ``predicate``."""
+        out = Relation(name or f"filter({self.name})", self.schema, self.ring)
+        out._data = {k: p for k, p in self._data.items() if predicate(k)}
+        return out
+
+    def scale(self, factor: Payload, side: str = "right", name: Optional[str] = None) -> "Relation":
+        """Multiply every payload by a constant (left or right for
+        non-commutative rings)."""
+        mul = self.ring.mul
+        out = Relation(name or self.name, self.schema, self.ring)
+        for key, payload in self._data.items():
+            value = mul(payload, factor) if side == "right" else mul(factor, payload)
+            out.add(key, value)
+        return out
+
+    def indicator(self, attrs: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Static indicator projection ``∃_A R`` (Appendix B).
+
+        Projects keys with non-zero payload onto ``attrs`` and assigns them
+        payload ``1``.  For incrementally maintained indicators with
+        count-based deltas see :class:`repro.data.indicator.IndicatorView`.
+        """
+        proj = key_projector(self.schema, attrs)
+        out = Relation(name or f"exists_{self.name}", tuple(attrs), self.ring)
+        one = self.ring.one
+        for key in self._data:
+            out._data[proj(key)] = one
+        return out

@@ -1,0 +1,67 @@
+"""Schema utilities: ordered attribute tuples and key projections.
+
+A schema is an ordered tuple of attribute names.  Keys are plain Python
+tuples positionally aligned with the schema.  These helpers precompute
+positional projections so the hot join/marginalize loops avoid per-tuple
+name lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Tuple
+
+__all__ = [
+    "SchemaError",
+    "as_schema",
+    "merge_schemas",
+    "key_projector",
+    "schema_positions",
+]
+
+Schema = Tuple[str, ...]
+
+
+class SchemaError(ValueError):
+    """Raised on schema mismatches (bad unions, unknown attributes, ...)."""
+
+
+def as_schema(attrs: Iterable[str]) -> Schema:
+    """Normalize an iterable of attribute names into a schema tuple.
+
+    Rejects duplicates; attribute order is preserved and significant (keys
+    are positional).
+    """
+    schema = tuple(attrs)
+    if len(set(schema)) != len(schema):
+        raise SchemaError(f"duplicate attributes in schema {schema}")
+    return schema
+
+def merge_schemas(left: Schema, right: Schema) -> Schema:
+    """Schema of the natural join: left attributes, then right-only ones."""
+    seen = set(left)
+    return left + tuple(a for a in right if a not in seen)
+
+
+def schema_positions(schema: Schema, attrs: Sequence[str]) -> Tuple[int, ...]:
+    """Positions of ``attrs`` inside ``schema`` (raising on unknown names)."""
+    try:
+        return tuple(schema.index(a) for a in attrs)
+    except ValueError as exc:
+        raise SchemaError(f"attributes {attrs} not all in schema {schema}") from exc
+
+
+def key_projector(schema: Schema, attrs: Sequence[str]) -> Callable[[tuple], tuple]:
+    """A function projecting a key over ``schema`` onto ``attrs`` (as a tuple).
+
+    The identity projection is special-cased so full-schema projections are
+    free, which matters on the hot path of joins on all attributes.
+    """
+    positions = schema_positions(schema, attrs)
+    if positions == tuple(range(len(schema))) and len(attrs) == len(schema):
+        return lambda key: key
+    if not positions:
+        return lambda key: ()
+    if len(positions) == 1:
+        p0 = positions[0]
+        return lambda key: (key[p0],)
+    return lambda key: tuple(key[p] for p in positions)

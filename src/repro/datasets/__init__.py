@@ -1,0 +1,23 @@
+"""Workload generators and update streams for the paper's experiments."""
+
+from repro.datasets import housing, matrices, retailer, twitter
+from repro.datasets.base import Workload, chain_spec
+from repro.datasets.streams import (
+    UpdateBatch,
+    UpdateStream,
+    round_robin_stream,
+    single_relation_stream,
+)
+
+__all__ = [
+    "Workload",
+    "chain_spec",
+    "UpdateBatch",
+    "UpdateStream",
+    "round_robin_stream",
+    "single_relation_stream",
+    "retailer",
+    "housing",
+    "twitter",
+    "matrices",
+]

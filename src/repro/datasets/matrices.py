@@ -1,0 +1,89 @@
+"""Dense matrices and low-rank updates for the matrix chain experiments.
+
+Matrices are modelled two ways (matching the paper's two runtimes):
+
+* as relations mapping index pairs to scalar payloads, consumed by the
+  ring-based engines ("DBToaster hash map" runtime);
+* as numpy arrays, consumed by the dense engines (the "Octave"/BLAS
+  runtime).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.rings.numeric import REAL_RING
+
+__all__ = [
+    "random_matrix",
+    "matrix_as_relation",
+    "relation_as_matrix",
+    "vector_as_relation",
+    "row_update",
+    "rank_r_update",
+]
+
+
+def random_matrix(n_rows: int, n_cols: int, rng: np.random.Generator) -> np.ndarray:
+    """A dense matrix with entries uniform in (-1, 1), as in Section 7."""
+    return rng.uniform(-1.0, 1.0, size=(n_rows, n_cols))
+
+
+def matrix_as_relation(
+    name: str, matrix: np.ndarray, row_var: str, col_var: str, ring=REAL_RING
+) -> Relation:
+    """Encode a matrix as a binary relation with scalar payloads."""
+    rel = Relation(name, (row_var, col_var), ring)
+    rows, cols = matrix.shape
+    for i in range(rows):
+        row = matrix[i]
+        for j in range(cols):
+            value = float(row[j])
+            if value != 0.0:
+                rel.add((i, j), value)
+    return rel
+
+
+def relation_as_matrix(
+    rel: Relation, shape: Tuple[int, int]
+) -> np.ndarray:
+    """Decode a binary relation (row, col) → value back into a dense array."""
+    out = np.zeros(shape)
+    for (i, j), value in rel.items():
+        out[int(i), int(j)] = value
+    return out
+
+
+def vector_as_relation(
+    name: str, vector: np.ndarray, var: str, ring=REAL_RING
+) -> Relation:
+    """Encode a vector as a unary relation (one factor of a rank-1 delta)."""
+    rel = Relation(name, (var,), ring)
+    for i, value in enumerate(vector):
+        value = float(value)
+        if value != 0.0:
+            rel.add((i,), value)
+    return rel
+
+
+def row_update(
+    n: int, row: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A one-row change as a rank-1 pair: ``δA = e_row · vᵀ``."""
+    u = np.zeros(n)
+    u[row] = 1.0
+    v = rng.uniform(-1.0, 1.0, size=n)
+    return u, v
+
+
+def rank_r_update(
+    n: int, rank: int, rng: np.random.Generator
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """A rank-r change as r rank-1 terms ``δA = Σ uᵢ vᵢᵀ`` (Section 5)."""
+    return [
+        (rng.uniform(-1.0, 1.0, size=n), rng.uniform(-1.0, 1.0, size=n))
+        for _ in range(rank)
+    ]

@@ -1,0 +1,172 @@
+"""Synthetic Retailer workload: the paper's snowflake decision-support schema.
+
+The real Retailer dataset (84M inventory rows, proprietary) is replaced by a
+deterministic generator with the same *shape*: one large fact relation
+``Inventory`` joining three dimension hierarchies — ``Item`` (on product),
+``Weather`` (on location and date), and ``Location`` (on location) with its
+lookup ``Census`` (on zip) — 43 attributes in total, natural join acyclic.
+The canonical variable order follows the paper's
+``location - { date - { product id }, zip }`` with each relation's local
+attributes forming a root-to-leaf chain (Appendix C.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.variable_order import VariableOrder
+from repro.datasets.base import Workload, chain_spec
+
+__all__ = ["SCHEMAS", "generate", "variable_order"]
+
+SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    "Inventory": ("locn", "dateid", "ksn", "inventoryunits"),
+    "Item": ("ksn", "subcategory", "category", "categoryCluster", "prize"),
+    "Weather": (
+        "locn", "dateid", "rain", "snow", "maxtemp", "mintemp",
+        "meanwind", "thunder",
+    ),
+    "Location": (
+        "locn", "zip", "rgn_cd", "clim_zn_nbr", "tot_area_sq_ft",
+        "sell_area_sq_ft", "avghhi", "supertargetdistance",
+        "supertargetdrivetime", "targetdistance", "targetdrivetime",
+        "walmartdistance", "walmartdrivetime",
+        "walmartsupercenterdistance", "walmartsupercenterdrivetime",
+    ),
+    "Census": (
+        "zip", "population", "white", "asian", "pacific", "black",
+        "medianage", "occupiedhouseunits", "houseunits", "families",
+        "households", "husbwife", "males", "females",
+        "householdschildren", "hispanic",
+    ),
+}
+
+#: All 43 variables in the canonical (variable-order) sequence.
+ALL_VARIABLES: Tuple[str, ...] = tuple(
+    dict.fromkeys(attr for schema in SCHEMAS.values() for attr in schema)
+)
+
+
+def variable_order() -> VariableOrder:
+    """The paper's Retailer variable order (each relation on one path)."""
+    inventory_chain = chain_spec(["inventoryunits"])
+    item_chain = chain_spec(SCHEMAS["Item"][1:])
+    weather_chain = chain_spec(SCHEMAS["Weather"][2:])
+    location_chain = chain_spec(SCHEMAS["Location"][2:])
+    census_chain = chain_spec(SCHEMAS["Census"][1:])
+    spec = (
+        "locn",
+        [
+            (
+                "dateid",
+                [
+                    ("ksn", [inventory_chain, item_chain]),
+                    weather_chain,
+                ],
+            ),
+            ("zip", [location_chain, census_chain]),
+        ],
+    )
+    return VariableOrder.from_spec(spec)
+
+
+def generate(scale: float = 1.0, seed: int = 42) -> Workload:
+    """Generate a Retailer instance; ``scale`` drives the fact-table size.
+
+    At scale 1: 10 locations × 30 dates × 120 products, 3000 inventory rows.
+    Values are small integers so every payload ring (ℤ, ℝ, cofactor,
+    relational) can consume the same rows.
+    """
+    rng = np.random.default_rng(seed)
+    n_locations = max(3, int(round(10 * scale ** 0.5)))
+    n_dates = max(5, int(round(30 * scale ** 0.5)))
+    n_products = max(10, int(round(120 * scale ** 0.5)))
+    n_zips = max(2, n_locations // 2 + 1)
+    n_inventory = max(20, int(round(3000 * scale)))
+
+    def ints(count: int, low: int, high: int) -> np.ndarray:
+        return rng.integers(low, high, size=count)
+
+    tables: Dict[str, List[tuple]] = {}
+
+    locations = list(range(1, n_locations + 1))
+    zips = list(range(1, n_zips + 1))
+    dates = list(range(1, n_dates + 1))
+    products = list(range(1, n_products + 1))
+
+    # Fact relation: random (locn, dateid, ksn) with small unit counts;
+    # dedup so keys are unique (multiplicities stay in payloads).
+    seen = set()
+    inventory: List[tuple] = []
+    while len(inventory) < n_inventory:
+        locn = int(rng.choice(locations))
+        dateid = int(rng.choice(dates))
+        ksn = int(rng.choice(products))
+        units = int(rng.integers(1, 20))
+        key = (locn, dateid, ksn, units)
+        if key not in seen:
+            seen.add(key)
+            inventory.append(key)
+    tables["Inventory"] = inventory
+
+    tables["Item"] = [
+        (
+            ksn,
+            int(rng.integers(1, 9)),      # subcategory
+            int(rng.integers(1, 5)),      # category
+            int(rng.integers(1, 4)),      # categoryCluster
+            int(rng.integers(1, 100)),    # prize
+        )
+        for ksn in products
+    ]
+
+    tables["Weather"] = [
+        (
+            locn,
+            dateid,
+            int(rng.integers(0, 2)),      # rain
+            int(rng.integers(0, 2)),      # snow
+            int(rng.integers(10, 40)),    # maxtemp
+            int(rng.integers(-10, 15)),   # mintemp
+            int(rng.integers(0, 30)),     # meanwind
+            int(rng.integers(0, 2)),      # thunder
+        )
+        for locn in locations
+        for dateid in dates
+    ]
+
+    tables["Location"] = [
+        (
+            locn,
+            int(rng.choice(zips)),
+            int(rng.integers(1, 10)),
+            int(rng.integers(1, 6)),
+            int(rng.integers(10, 100)),
+            int(rng.integers(5, 80)),
+            int(rng.integers(20, 200)),
+            *(int(x) for x in ints(8, 1, 50)),
+        )
+        for locn in locations
+    ]
+
+    tables["Census"] = [
+        (zip_code, *(int(x) for x in ints(15, 1, 1000)))
+        for zip_code in zips
+    ]
+
+    return Workload(
+        name="retailer",
+        schemas=dict(SCHEMAS),
+        tables=tables,
+        variable_order=variable_order(),
+        numeric_variables=ALL_VARIABLES,
+        metadata={
+            "scale": scale,
+            "locations": n_locations,
+            "dates": n_dates,
+            "products": n_products,
+            "zips": n_zips,
+        },
+    )

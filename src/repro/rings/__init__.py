@@ -1,0 +1,49 @@
+"""Payload algebra: rings, semirings, and lifting functions."""
+
+from repro.rings.base import Ring, check_ring_axioms
+from repro.rings.cofactor import CofactorRing, CofactorTriple
+from repro.rings.degree import DegreeRing
+from repro.rings.lifting import Lifting, constant_one, numeric_identity
+from repro.rings.matrix import SquareMatrixRing
+from repro.rings.numeric import (
+    BOOL_SEMIRING,
+    INT_RING,
+    REAL_RING,
+    BooleanSemiring,
+    IntegerRing,
+    MaxProductSemiring,
+    RealRing,
+    VectorRing,
+)
+from repro.rings.product import ProductRing
+from repro.rings.relational import (
+    RelationalRing,
+    bound_lift,
+    free_lift,
+    payload_relation,
+)
+
+__all__ = [
+    "Ring",
+    "check_ring_axioms",
+    "IntegerRing",
+    "RealRing",
+    "BooleanSemiring",
+    "MaxProductSemiring",
+    "VectorRing",
+    "INT_RING",
+    "REAL_RING",
+    "BOOL_SEMIRING",
+    "SquareMatrixRing",
+    "CofactorRing",
+    "CofactorTriple",
+    "DegreeRing",
+    "ProductRing",
+    "RelationalRing",
+    "payload_relation",
+    "free_lift",
+    "bound_lift",
+    "Lifting",
+    "constant_one",
+    "numeric_identity",
+]

@@ -1,0 +1,99 @@
+"""The degree-indexed ring: SQL-OPT's explicit encoding of cofactor payloads.
+
+SQL-OPT (Section 7) arranges the quadratically many regression aggregates
+into a single aggregate column indexed by the degree of each query variable.
+Algebraically this is the truncated polynomial ring
+``ℝ[x₁..x_m] / ⟨monomials of degree ≥ 3⟩`` — the same quotient the
+degree-m matrix ring of Definition 6.2 implements with dense vectors and
+matrices.  Here the payload is a sparse dict from monomials to floats:
+
+* ``()``        → the count aggregate,
+* ``(i,)``      → SUM(Xᵢ),
+* ``(i, j)``    → SUM(Xᵢ·Xⱼ)  (indices sorted, i ≤ j).
+
+Keeping both encodings lets the benchmarks reproduce the paper's F-IVM vs
+SQL-OPT comparison: identical view trees and maintenance strategy, different
+payload representation costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.rings.base import Ring
+
+__all__ = ["DegreeRing"]
+
+Monomial = Tuple[int, ...]
+Poly = Dict[Monomial, float]
+
+
+class DegreeRing(Ring):
+    """Sparse truncated polynomials of total degree ≤ 2 over m variables."""
+
+    def __init__(self, degree: int, tolerance: float = 1e-7):
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        self.degree = degree
+        self.tolerance = tolerance
+        self.name = f"degree[{degree}]"
+        self._zero: Poly = {}
+        self._one: Poly = {(): 1.0}
+
+    @property
+    def zero(self) -> Poly:
+        return self._zero
+
+    @property
+    def one(self) -> Poly:
+        return self._one
+
+    def add(self, a: Poly, b: Poly) -> Poly:
+        out = dict(a)
+        for monomial, coeff in b.items():
+            merged = out.get(monomial, 0.0) + coeff
+            if abs(merged) <= self.tolerance:
+                out.pop(monomial, None)
+            else:
+                out[monomial] = merged
+        return out
+
+    def mul(self, a: Poly, b: Poly) -> Poly:
+        out: Poly = {}
+        for m1, c1 in a.items():
+            for m2, c2 in b.items():
+                if len(m1) + len(m2) > 2:
+                    continue  # quotient: monomials of degree ≥ 3 vanish
+                monomial = tuple(sorted(m1 + m2))
+                merged = out.get(monomial, 0.0) + c1 * c2
+                if abs(merged) <= self.tolerance:
+                    out.pop(monomial, None)
+                else:
+                    out[monomial] = merged
+        return out
+
+    def neg(self, a: Poly) -> Poly:
+        return {monomial: -coeff for monomial, coeff in a.items()}
+
+    def eq(self, a: Poly, b: Poly) -> bool:
+        for monomial in set(a) | set(b):
+            if abs(a.get(monomial, 0.0) - b.get(monomial, 0.0)) > self.tolerance:
+                return False
+        return True
+
+    def is_zero(self, a: Poly) -> bool:
+        return all(abs(c) <= self.tolerance for c in a.values())
+
+    def from_int(self, n: int) -> Poly:
+        return {(): float(n)} if n else {}
+
+    def lift(self, index: int) -> Callable[[object], Poly]:
+        """Lifting for variable ``index``: ``x ↦ 1 + x·xᵢ + x²·xᵢ²``."""
+        if not 0 <= index < self.degree:
+            raise ValueError(f"variable index {index} out of range")
+
+        def _lift(value: object) -> Poly:
+            x = float(value)  # type: ignore[arg-type]
+            return {(): 1.0, (index,): x, (index, index): x * x}
+
+        return _lift

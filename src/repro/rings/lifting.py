@@ -1,0 +1,74 @@
+"""Lifting functions ``g_X : Dom(X) → D`` and per-query lifting tables.
+
+Marginalization ``⊕_X`` multiplies each payload by the lift of the value
+being aggregated away (Section 2).  The choice of lifts — together with the
+ring — is what differentiates the applications:
+
+* COUNT:               every variable lifts to ``1``;
+* SUM(f(X)):           ``X`` lifts to ``f(x)``, others to ``1``;
+* cofactor matrices:   ``X_j`` lifts to ``(1, s_j = x, Q_jj = x²)``;
+* conjunctive queries: free variables lift to ``{(x) → 1}``, bound to
+  ``{() → 1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+from repro.rings.base import Ring, RingElement
+
+__all__ = ["Lifting", "constant_one", "numeric_identity"]
+
+LiftFn = Callable[[Any], RingElement]
+
+
+def constant_one(ring: Ring) -> LiftFn:
+    """The lift mapping every value to the ring's ``1`` (COUNT semantics)."""
+    one = ring.one
+    return lambda value: one
+
+
+def numeric_identity(ring: Ring) -> LiftFn:
+    """The lift mapping a numeric value to itself, embedded in the ring.
+
+    Assumes the ring's elements are plain numbers (ℤ or ℝ); this is the
+    ``g_B(x) = x`` lift of Example 2.3.
+    """
+    return lambda value: value
+
+
+class Lifting:
+    """A per-variable table of lifting functions with a default.
+
+    Variables without an explicit entry lift to ``1``, so COUNT-style
+    marginalization needs no configuration.  ``None`` entries also mean the
+    constant-one lift; the relation layer skips the multiplication entirely
+    in that case, which is the fast path.
+    """
+
+    def __init__(
+        self,
+        ring: Ring,
+        lifts: Optional[Mapping[str, LiftFn]] = None,
+    ):
+        self.ring = ring
+        self._lifts: Dict[str, LiftFn] = dict(lifts or {})
+
+    def set(self, variable: str, lift: LiftFn) -> "Lifting":
+        self._lifts[variable] = lift
+        return self
+
+    def get(self, variable: str) -> Optional[LiftFn]:
+        """The lift for ``variable``, or ``None`` for the implicit ``1``."""
+        return self._lifts.get(variable)
+
+    def __contains__(self, variable: str) -> bool:
+        return variable in self._lifts
+
+    def table(self) -> Mapping[str, LiftFn]:
+        """The explicit entries (used by ``Relation.marginalize``)."""
+        return self._lifts
+
+    def restricted(self, variables: Iterable[str]) -> Dict[str, LiftFn]:
+        """Entries for the given variables only (skipping implicit ones)."""
+        return {v: self._lifts[v] for v in variables if v in self._lifts}

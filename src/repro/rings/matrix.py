@@ -1,0 +1,67 @@
+"""The (non-commutative) ring of n×n matrices over ℝ.
+
+Used by the matrix chain multiplication application (Section 6.1): matrices
+are modelled as binary relations whose payloads carry matrix values, and this
+ring supplies payload addition/multiplication.  The n×n case is also the
+canonical non-commutative ring in the test suite, guarding against any
+accidental reliance on commutativity in the view-tree machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rings.base import Ring
+
+__all__ = ["SquareMatrixRing"]
+
+
+def _frozen(a: np.ndarray) -> np.ndarray:
+    """Return ``a`` marked read-only so shared identities cannot be mutated."""
+    a.setflags(write=False)
+    return a
+
+
+class SquareMatrixRing(Ring):
+    """The matrix ring (M_n(ℝ), +, ·, 0ₙ, Iₙ) from Example A.2."""
+
+    is_commutative = False
+
+    def __init__(self, n: int, tolerance: float = 1e-9):
+        if n <= 0:
+            raise ValueError("matrix dimension must be positive")
+        self.n = n
+        self.tolerance = tolerance
+        self.name = f"M_{n}(R)"
+        self._zero = _frozen(np.zeros((n, n)))
+        self._one = _frozen(np.eye(n))
+
+    @property
+    def zero(self) -> np.ndarray:
+        return self._zero
+
+    @property
+    def one(self) -> np.ndarray:
+        return self._one
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a + b
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        return -a
+
+    def eq(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return bool(np.allclose(a, b, atol=self.tolerance))
+
+    def is_zero(self, a: np.ndarray) -> bool:
+        return not bool(np.any(np.abs(a) > self.tolerance))
+
+    def from_int(self, n: int) -> np.ndarray:
+        return float(n) * self._one
+
+    def random(self, rng: np.random.Generator) -> np.ndarray:
+        """A random element, convenient for property-based tests."""
+        return rng.uniform(-1.0, 1.0, size=(self.n, self.n))

@@ -1,0 +1,56 @@
+"""Product rings: tuples of payloads combined component-wise.
+
+The product of rings ``D1 × ... × Dk`` is again a ring; it models compound
+aggregates that are maintained together but do not share computation (e.g.
+several independent SUMs).  The degree-m matrix ring of
+:mod:`repro.rings.cofactor` is the paper's sharing-aware alternative; keeping
+both lets benchmarks quantify the benefit of sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.rings.base import Ring
+
+__all__ = ["ProductRing"]
+
+
+class ProductRing(Ring):
+    """Component-wise product of the given rings."""
+
+    def __init__(self, rings: Sequence[Ring]):
+        if not rings:
+            raise ValueError("product of zero rings is not useful")
+        self.rings: Tuple[Ring, ...] = tuple(rings)
+        self.name = " x ".join(r.name for r in self.rings)
+        self.has_additive_inverse = all(r.has_additive_inverse for r in self.rings)
+        self.is_commutative = all(r.is_commutative for r in self.rings)
+        self._zero = tuple(r.zero for r in self.rings)
+        self._one = tuple(r.one for r in self.rings)
+
+    @property
+    def zero(self) -> tuple:
+        return self._zero
+
+    @property
+    def one(self) -> tuple:
+        return self._one
+
+    def add(self, a: tuple, b: tuple) -> tuple:
+        return tuple(r.add(x, y) for r, x, y in zip(self.rings, a, b))
+
+    def mul(self, a: tuple, b: tuple) -> tuple:
+        return tuple(r.mul(x, y) for r, x, y in zip(self.rings, a, b))
+
+    def neg(self, a: tuple) -> tuple:
+        return tuple(r.neg(x) for r, x in zip(self.rings, a))
+
+    def eq(self, a: tuple, b: tuple) -> bool:
+        return all(r.eq(x, y) for r, x, y in zip(self.rings, a, b))
+
+    def is_zero(self, a: tuple) -> bool:
+        return all(r.is_zero(x) for r, x in zip(self.rings, a))
+
+    def from_int(self, n: int) -> tuple:
+        return tuple(r.from_int(n) for r in self.rings)

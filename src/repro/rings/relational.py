@@ -1,0 +1,110 @@
+"""The relational data ring ``F[ℤ]`` (Definition 6.4).
+
+Payloads are themselves relations over the ℤ ring: payload addition is
+relational union ``⊎`` (multiplicities add) and payload multiplication is
+natural join ``⊗`` (multiplicities multiply).  With this ring, the *same*
+view tree that counts tuples instead accumulates the (listing or factorized)
+representation of a conjunctive query result in its payloads — the paper's
+Example 6.5 / Figure 2e.
+
+The paper's footnote 2 notes that a proper ring needs relations whose tuples
+carry their own schemas; as there, the practical queries we run only ever
+combine payloads with compatible schemas, and we enforce that with explicit
+errors rather than generalizing the data model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.data.relation import Relation
+from repro.data.schema import SchemaError
+from repro.rings.base import Ring
+from repro.rings.numeric import INT_RING
+
+__all__ = ["RelationalRing", "payload_relation", "free_lift", "bound_lift"]
+
+
+def payload_relation(schema: tuple, data: dict) -> Relation:
+    """Build a payload relation over ℤ (a convenience for tests/examples)."""
+    return Relation("payload", schema, INT_RING, data)
+
+
+class RelationalRing(Ring):
+    """``(F[ℤ], ⊎, ⊗, 0, 1)``: relations over ℤ as payload values.
+
+    * ``0`` is the empty relation (maps every tuple to 0); we represent it
+      with the empty schema and no keys, and treat it as union-compatible
+      with every schema.
+    * ``1`` is ``{() → 1}``: the relation mapping the empty tuple to 1.
+    """
+
+    name = "F[Z]"
+
+    def __init__(self):
+        self._zero = Relation("0", (), INT_RING)
+        self._one = Relation("1", (), INT_RING, {(): 1})
+
+    @property
+    def zero(self) -> Relation:
+        return self._zero
+
+    @property
+    def one(self) -> Relation:
+        return self._one
+
+    def add(self, a: Relation, b: Relation) -> Relation:
+        if not a._data:
+            return b
+        if not b._data:
+            return a
+        if a.schema != b.schema:
+            raise SchemaError(
+                f"payload union over schemas {a.schema} vs {b.schema}"
+            )
+        return a.union(b, name="payload")
+
+    def mul(self, a: Relation, b: Relation) -> Relation:
+        if not a._data or not b._data:
+            # 0 * x = x * 0 = 0, regardless of schemas.
+            return self._zero
+        return a.join(b, name="payload")
+
+    def neg(self, a: Relation) -> Relation:
+        return a.negate(name="payload")
+
+    def eq(self, a: Relation, b: Relation) -> bool:
+        if not a._data and not b._data:
+            return True
+        return a.same_as(b)
+
+    def is_zero(self, a: Relation) -> bool:
+        return not a._data
+
+    def from_int(self, n: int) -> Relation:
+        if n == 0:
+            return self._zero
+        return Relation("payload", (), INT_RING, {(): n})
+
+
+def free_lift(variable: str) -> Callable[[Any], Relation]:
+    """Lifting for a *free* variable: ``x ↦ {(x) → 1}`` over schema ``{X}``.
+
+    Marginalizing with this lift moves the variable's values from the key
+    space into the payload space (Section 6.3).
+    """
+
+    def _lift(value: Any) -> Relation:
+        return Relation("payload", (variable,), INT_RING, {(value,): 1})
+
+    return _lift
+
+
+def bound_lift() -> Callable[[Any], Relation]:
+    """Lifting for a *bound* variable: ``x ↦ {() → 1}`` (the ring one)."""
+    one = Relation("1", (), INT_RING, {(): 1})
+
+    def _lift(value: Any) -> Relation:
+        return one
+
+    return _lift

@@ -1,0 +1,175 @@
+"""Tests for conjunctive query evaluation with three representations (§6.3)."""
+
+import random
+
+import pytest
+
+from repro.apps import MODES, ConjunctiveQuery
+from repro.core import VariableOrder
+from repro.data import Relation
+from repro.rings import INT_RING
+
+from tests.conftest import PAPER_SCHEMAS, paper_variable_order
+
+FREE = ("A", "B", "C", "D")  # E stays bound, as in Example 6.5
+
+
+def engines(order=None, updatable=None):
+    order = order or paper_variable_order()
+    return {
+        mode: ConjunctiveQuery(
+            "Q", PAPER_SCHEMAS, FREE, mode=mode, order=order, updatable=updatable
+        )
+        for mode in MODES
+    }
+
+
+def feed(engine, rel, rows, multiplicity=1):
+    ring = engine.ring
+    delta = Relation(rel, PAPER_SCHEMAS[rel], ring)
+    for row in rows:
+        delta.add(row, ring.from_int(multiplicity))
+    engine.apply_update(delta)
+
+
+FIGURE2_ROWS = {
+    "R": [("a1", "b1"), ("a1", "b2"), ("a2", "b3"), ("a3", "b4")],
+    "S": [("a1", "c1", "e1"), ("a1", "c1", "e2"), ("a1", "c2", "e3"), ("a2", "c2", "e4")],
+    "T": [("c1", "d1"), ("c2", "d2"), ("c2", "d3"), ("c3", "d4")],
+}
+
+
+class TestExample65:
+    """Q(A,B,C,D) = R(A,B), S(A,C,E), T(C,D) over the Figure 2 database."""
+
+    def _loaded(self, mode):
+        engine = ConjunctiveQuery(
+            "Q", PAPER_SCHEMAS, FREE, mode=mode, order=paper_variable_order()
+        )
+        for rel, rows in FIGURE2_ROWS.items():
+            feed(engine, rel, rows)
+        return engine
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_figure2e_listing(self, mode):
+        """The listing of Figure 2e (right column), with multiplicities."""
+        expected = {
+            ("a1", "b1", "c1", "d1"): 2,
+            ("a1", "b1", "c2", "d2"): 1,
+            ("a1", "b1", "c2", "d3"): 1,
+            ("a1", "b2", "c1", "d1"): 2,
+            ("a1", "b2", "c2", "d2"): 1,
+            ("a1", "b2", "c2", "d3"): 1,
+            ("a2", "b3", "c2", "d2"): 1,
+            ("a2", "b3", "c2", "d3"): 1,
+        }
+        engine = self._loaded(mode)
+        assert dict(engine.to_listing().items()) == expected
+
+    def test_factorized_is_smaller(self):
+        listing = self._loaded("listing_payloads")
+        fact = self._loaded("factorized")
+        assert fact.memory() < listing.memory()
+
+    def test_result_size(self):
+        assert self._loaded("factorized").result_size() == 8
+
+    def test_result_relation_modes(self):
+        listing = self._loaded("listing_keys").result_relation()
+        payloads = self._loaded("listing_payloads").result_relation()
+        assert listing.same_as(payloads.rename({}, name=listing.name))
+        with pytest.raises(ValueError):
+            self._loaded("factorized").result_relation()
+
+
+class TestRandomAgreement:
+    def test_modes_agree_under_churn(self, rng):
+        all_engines = engines()
+        for _ in range(100):
+            rel = rng.choice(list(PAPER_SCHEMAS))
+            rows = [
+                tuple(rng.randint(0, 3) for _ in PAPER_SCHEMAS[rel])
+                for _ in range(rng.randint(1, 3))
+            ]
+            multiplicity = rng.choice([1, 1, 2, -1])
+            for engine in all_engines.values():
+                feed(engine, rel, rows, multiplicity)
+        reference = all_engines["listing_keys"].to_listing()
+        for mode in ("listing_payloads", "factorized"):
+            other = all_engines[mode].to_listing()
+            assert reference.same_as(
+                other.rename({}, name=reference.name)
+            ), mode
+
+    def test_enumeration_multiplicities(self, rng):
+        """Enumerated multiplicities equal listing payload counts."""
+        all_engines = engines()
+        for _ in range(40):
+            rel = rng.choice(list(PAPER_SCHEMAS))
+            rows = [tuple(rng.randint(0, 2) for _ in PAPER_SCHEMAS[rel])]
+            for engine in all_engines.values():
+                feed(engine, rel, rows)
+        expected = dict(all_engines["listing_keys"].result_relation().items())
+        enumerated = dict(all_engines["factorized"].enumerate())
+        assert enumerated == expected
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery("Q", PAPER_SCHEMAS, FREE, mode="columnar")
+
+    def test_shared_bound_variable_rejected_at_enumeration(self):
+        engine = ConjunctiveQuery(
+            "Q", PAPER_SCHEMAS, ("B", "D"), mode="factorized",
+            order=paper_variable_order(),
+        )
+        feed(engine, "R", [("a1", "b1")])
+        with pytest.raises(ValueError, match="shared"):
+            list(engine.enumerate())
+
+    def test_all_variables_free_natural_join(self, rng):
+        free = ("A", "B", "C", "D", "E")
+        listing = ConjunctiveQuery(
+            "Q", PAPER_SCHEMAS, free, mode="listing_keys",
+            order=paper_variable_order(),
+        )
+        fact = ConjunctiveQuery(
+            "Q", PAPER_SCHEMAS, free, mode="factorized",
+            order=paper_variable_order(),
+        )
+        for _ in range(60):
+            rel = rng.choice(list(PAPER_SCHEMAS))
+            rows = [tuple(rng.randint(0, 2) for _ in PAPER_SCHEMAS[rel])]
+            feed(listing, rel, rows)
+            feed(fact, rel, rows)
+        expected = listing.to_listing()
+        got = fact.to_listing()
+        assert expected.same_as(got.rename({}, name=expected.name))
+
+
+class TestMemoryProfile:
+    def test_factorized_grows_slower_on_star_join(self):
+        """Per-postcode multiplicities multiply in listing mode but add in
+        factorized mode — the Figure 8 (right) effect in miniature."""
+        schemas = {"R1": ("P", "X"), "R2": ("P", "Y"), "R3": ("P", "Z")}
+        order = VariableOrder.from_spec(("P", ["X", "Y", "Z"]))
+        listing = ConjunctiveQuery(
+            "star", schemas, ("P", "X", "Y", "Z"), mode="listing_keys", order=order
+        )
+        fact = ConjunctiveQuery(
+            "star", schemas, ("P", "X", "Y", "Z"), mode="factorized", order=order
+        )
+        per_relation = 8
+        for rel, schema in schemas.items():
+            rows = [(1, i) for i in range(per_relation)]
+            for engine in (listing, fact):
+                ring = engine.ring
+                delta = Relation(rel, schema, ring)
+                for row in rows:
+                    delta.add(row, ring.one)
+                engine.apply_update(delta)
+        # listing: 8³ result tuples; factorized: 3·8 values + views.
+        assert listing.result_size() == per_relation ** 3
+        assert fact.memory() < listing.memory() / 10
+        assert fact.result_size() == per_relation ** 3

@@ -1,0 +1,178 @@
+"""Tests for matrix chain multiplication (Section 6.1 / LINVIEW)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    DenseChainFIVM,
+    DenseChainFirstOrder,
+    DenseChainReeval,
+    MatrixChainIVM,
+    chain_query,
+    chain_variable_order,
+    matrix_chain_order,
+)
+from repro.datasets.matrices import (
+    matrix_as_relation,
+    random_matrix,
+    rank_r_update,
+    relation_as_matrix,
+    row_update,
+)
+from repro.rings import REAL_RING
+
+
+@pytest.fixture
+def np_rng():
+    return np.random.default_rng(17)
+
+
+class TestChainOrderDP:
+    def test_textbook_example(self):
+        # CLRS-style: dims (10, 100, 5, 50) → optimal cost 7500, split at 2.
+        m, s = matrix_chain_order([10, 100, 5, 50])
+        assert m[1][3] == 7500
+        assert s[1][3] == 2
+
+    def test_single_matrix(self):
+        m, _ = matrix_chain_order([3, 4])
+        assert m[1][1] == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_chain_order([5])
+
+
+class TestVariableOrder:
+    def test_example61_shape(self):
+        """ω = X1 - X5 - X3 - {X2, X4} for a balanced 4-chain."""
+        vo = chain_variable_order(4)
+        assert vo.roots[0].var == "X1"
+        assert vo.ancestors("X3") == ("X1", "X5")
+        assert {child.var for child in vo.node("X3").children} == {"X2", "X4"}
+
+    def test_valid_for_query(self):
+        for k in (1, 2, 3, 5):
+            q = chain_query(k)
+            chain_variable_order(k).validate(q)
+
+    def test_optimal_split_used(self):
+        # dims force the optimal parenthesization A1 · (A2 · A3), so the
+        # top bound variable is X2 with X3 below it.
+        vo = chain_variable_order(3, dims=[2, 2, 100, 2])
+        root_bound = vo.node("X4").children[0].var
+        assert root_bound == "X2"
+        assert vo.parent("X3") == "X2"
+
+
+class TestRelationalChain:
+    def test_initial_product(self, np_rng):
+        mats = [random_matrix(4, 6, np_rng), random_matrix(6, 3, np_rng)]
+        chain = MatrixChainIVM(mats)
+        assert np.allclose(chain.result_matrix(), mats[0] @ mats[1])
+
+    def test_dimension_mismatch_rejected(self, np_rng):
+        with pytest.raises(ValueError):
+            MatrixChainIVM([random_matrix(3, 4, np_rng), random_matrix(5, 2, np_rng)])
+
+    def test_rank_one_updates_each_position(self, np_rng):
+        mats = [
+            random_matrix(3, 4, np_rng),
+            random_matrix(4, 5, np_rng),
+            random_matrix(5, 2, np_rng),
+        ]
+        for index in (1, 2, 3):
+            chain = MatrixChainIVM(mats, updatable=[f"A{index}"])
+            u = np_rng.uniform(-1, 1, mats[index - 1].shape[0])
+            v = np_rng.uniform(-1, 1, mats[index - 1].shape[1])
+            chain.apply_rank_one(index, u, v)
+            updated = [m.copy() for m in mats]
+            updated[index - 1] = updated[index - 1] + np.outer(u, v)
+            expected = updated[0] @ updated[1] @ updated[2]
+            assert np.allclose(chain.result_matrix(), expected), index
+
+    def test_rank_r_update(self, np_rng):
+        n = 5
+        mats = [random_matrix(n, n, np_rng) for _ in range(3)]
+        chain = MatrixChainIVM(mats, updatable=["A2"])
+        terms = rank_r_update(n, 3, np_rng)
+        chain.apply_rank_r(2, terms)
+        delta = sum(np.outer(u, v) for u, v in terms)
+        expected = mats[0] @ (mats[1] + delta) @ mats[2]
+        assert np.allclose(chain.result_matrix(), expected)
+
+    def test_longer_chain(self, np_rng):
+        mats = [random_matrix(3, 3, np_rng) for _ in range(5)]
+        chain = MatrixChainIVM(mats, updatable=["A3"])
+        u, v = np_rng.uniform(-1, 1, 3), np_rng.uniform(-1, 1, 3)
+        chain.apply_rank_one(3, u, v)
+        updated = [m.copy() for m in mats]
+        updated[2] += np.outer(u, v)
+        expected = updated[0]
+        for m in updated[1:]:
+            expected = expected @ m
+        assert np.allclose(chain.result_matrix(), expected)
+
+    def test_dense_delta_listing_path(self, np_rng):
+        mats = [random_matrix(3, 3, np_rng) for _ in range(3)]
+        chain = MatrixChainIVM(mats)
+        delta = 0.1 * random_matrix(3, 3, np_rng)
+        chain.apply_dense_delta(2, delta)
+        expected = mats[0] @ (mats[1] + delta) @ mats[2]
+        assert np.allclose(chain.result_matrix(), expected)
+
+    def test_row_update_helper(self, np_rng):
+        u, v = row_update(4, 2, np_rng)
+        delta = np.outer(u, v)
+        assert np.count_nonzero(delta[0]) == 0
+        assert np.count_nonzero(delta[2]) == 4
+
+
+class TestDenseEngines:
+    def test_all_engines_agree(self, np_rng):
+        n = 8
+        mats = [random_matrix(n, n, np_rng) for _ in range(3)]
+        engines = [
+            DenseChainFIVM(*mats),
+            DenseChainFirstOrder(*mats),
+            DenseChainReeval(*mats),
+        ]
+        for step in range(5):
+            u, v = row_update(n, step % n, np_rng)
+            for engine in engines:
+                engine.apply_rank_one(u, v)
+            for engine in engines[1:]:
+                assert np.allclose(engine.result, engines[0].result)
+
+    def test_dense_matches_relational(self, np_rng):
+        n = 4
+        mats = [random_matrix(n, n, np_rng) for _ in range(3)]
+        dense = DenseChainFIVM(*mats)
+        relational = MatrixChainIVM(mats, updatable=["A2"])
+        for _ in range(3):
+            u = np_rng.uniform(-1, 1, n)
+            v = np_rng.uniform(-1, 1, n)
+            dense.apply_rank_one(u, v)
+            relational.apply_rank_one(2, u, v)
+        assert np.allclose(dense.result, relational.result_matrix())
+
+    def test_rank_r_dense(self, np_rng):
+        n = 6
+        mats = [random_matrix(n, n, np_rng) for _ in range(3)]
+        engine = DenseChainFIVM(*mats)
+        terms = rank_r_update(n, 4, np_rng)
+        engine.apply_rank_r(terms)
+        delta = sum(np.outer(u, v) for u, v in terms)
+        assert np.allclose(engine.result, mats[0] @ (mats[1] + delta) @ mats[2])
+
+
+class TestMatrixRelationCodecs:
+    def test_round_trip(self, np_rng):
+        m = random_matrix(3, 5, np_rng)
+        rel = matrix_as_relation("A", m, "X", "Y")
+        assert np.allclose(relation_as_matrix(rel, (3, 5)), m)
+
+    def test_zeros_skipped(self):
+        m = np.array([[0.0, 1.0], [0.0, 0.0]])
+        rel = matrix_as_relation("A", m, "X", "Y")
+        assert len(rel) == 1

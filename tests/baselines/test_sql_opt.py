@@ -1,0 +1,123 @@
+"""Tests for SQL-OPT (degree-ring cofactor maintenance) and the scalar bank."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps import CofactorModel
+from repro.baselines import FirstOrderIVM, ScalarAggregateBank, SQLOptCofactor
+from repro.core import Query
+from repro.data import Relation
+from repro.rings import INT_RING, Lifting, RealRing
+
+from tests.conftest import PAPER_SCHEMAS, paper_variable_order, random_delta
+
+NUMERIC = ("B", "D", "E")
+
+
+def poly_to_moments(poly: dict, m: int) -> np.ndarray:
+    """Decode a degree-ring payload into the extended moment matrix."""
+    out = np.zeros((m + 1, m + 1))
+    for monomial, coeff in poly.items():
+        if len(monomial) == 0:
+            out[0, 0] = coeff
+        elif len(monomial) == 1:
+            out[0, monomial[0] + 1] = coeff
+            out[monomial[0] + 1, 0] = coeff
+        else:
+            i, j = monomial
+            out[i + 1, j + 1] += coeff
+            if i != j:
+                out[j + 1, i + 1] += coeff
+    return out
+
+
+class TestSQLOptAgainstFIVM:
+    def test_same_moments_under_random_updates(self, rng):
+        sql_opt = SQLOptCofactor(
+            "so", PAPER_SCHEMAS, NUMERIC, order=paper_variable_order()
+        )
+        fivm = CofactorModel(
+            "fm", PAPER_SCHEMAS, NUMERIC, order=paper_variable_order()
+        )
+        for _ in range(25):
+            rel = rng.choice(list(PAPER_SCHEMAS))
+            rows = [
+                tuple(rng.randint(0, 3) for _ in PAPER_SCHEMAS[rel])
+                for _ in range(rng.randint(1, 3))
+            ]
+            mult = rng.choice([1, 1, -1])
+            for engine, ring in ((sql_opt, sql_opt.query.ring), (fivm, fivm.query.ring)):
+                delta = Relation(rel, PAPER_SCHEMAS[rel], ring)
+                for row in rows:
+                    delta.add(row, ring.from_int(mult))
+                engine.apply_update(delta)
+            poly = sql_opt.result().payload(())
+            moments = poly_to_moments(poly, len(NUMERIC))
+            assert np.allclose(moments, fivm.moment_matrix(), atol=1e-6)
+
+    def test_same_view_tree_as_fivm(self):
+        sql_opt = SQLOptCofactor(
+            "so", PAPER_SCHEMAS, NUMERIC, order=paper_variable_order()
+        )
+        fivm = CofactorModel(
+            "fm", PAPER_SCHEMAS, NUMERIC, order=paper_variable_order()
+        )
+        assert sql_opt.view_count() == fivm.engine.view_count()
+
+
+class TestScalarAggregateBank:
+    def _aggregates(self):
+        """COUNT, SUM(B), SUM(B*D): three scalar aggregates."""
+        ring = RealRing()
+        return ring, [
+            ("count", Lifting(ring)),
+            ("sum_b", Lifting(ring, {"B": float})),
+            ("sum_bd", Lifting(ring, {"B": float, "D": float})),
+        ]
+
+    def test_bank_matches_compound_payloads(self, rng):
+        ring, aggregates = self._aggregates()
+        base = Query("Q", PAPER_SCHEMAS, ring=ring)
+        bank = ScalarAggregateBank(
+            lambda q: FirstOrderIVM(q, paper_variable_order()), base, aggregates
+        )
+        fivm = CofactorModel(
+            "fm", PAPER_SCHEMAS, NUMERIC, order=paper_variable_order()
+        )
+        for _ in range(15):
+            rel = rng.choice(list(PAPER_SCHEMAS))
+            rows = [tuple(rng.randint(0, 3) for _ in PAPER_SCHEMAS[rel])]
+            bank_delta = Relation(rel, PAPER_SCHEMAS[rel], ring)
+            fivm_delta = Relation(rel, PAPER_SCHEMAS[rel], fivm.query.ring)
+            for row in rows:
+                bank_delta.add(row, 1.0)
+                fivm_delta.add(row, fivm.query.ring.one)
+            bank.apply_update(bank_delta)
+            fivm.apply_update(fivm_delta)
+        results = bank.result()
+        moments = fivm.moment_matrix()
+        assert np.isclose(results["count"].payload(()), moments[0, 0])
+        assert np.isclose(results["sum_b"].payload(()), moments[0, 1])
+        # B is index 0, D is index 1 in NUMERIC.
+        assert np.isclose(results["sum_bd"].payload(()), moments[1, 2])
+
+    def test_view_counts_scale_with_aggregates(self):
+        """No sharing: k aggregates cost k maintenance strategies."""
+        from repro.baselines import RecursiveIVM
+
+        ring, aggregates = self._aggregates()
+        base = Query("Q", PAPER_SCHEMAS, ring=ring)
+        bank = ScalarAggregateBank(lambda q: RecursiveIVM(q), base, aggregates)
+        single = RecursiveIVM(Query("Q1", PAPER_SCHEMAS, ring=ring))
+        assert bank.view_count() == 3 * single.view_count()
+
+    def test_view_sizes_namespaced(self):
+        ring, aggregates = self._aggregates()
+        base = Query("Q", PAPER_SCHEMAS, ring=ring)
+        bank = ScalarAggregateBank(
+            lambda q: FirstOrderIVM(q, paper_variable_order()), base, aggregates
+        )
+        sizes = bank.view_sizes()
+        assert any(name.startswith("count:") for name in sizes)

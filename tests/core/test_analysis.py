@@ -1,0 +1,90 @@
+"""Tests for static query analysis (q-hierarchical detection, cost sketch)."""
+
+from repro.core import Query, VariableOrder
+from repro.core.analysis import (
+    is_hierarchical,
+    is_q_hierarchical,
+    update_cost_sketch,
+)
+from repro.rings import INT_RING
+
+from tests.conftest import PAPER_SCHEMAS, paper_variable_order
+
+
+class TestHierarchical:
+    def test_star_is_hierarchical(self):
+        schemas = {f"R{i}": ("P", f"X{i}") for i in range(4)}
+        q = Query("star", schemas, ring=INT_RING)
+        assert is_hierarchical(q)
+
+    def test_path_join_is_not(self):
+        # R(A,B), S(B,C): atoms(A)={R}, atoms(B)={R,S} comparable;
+        # with T(C,D): atoms(C)={S,T} vs atoms(B)={R,S} overlap, incomparable.
+        q = Query(
+            "path",
+            {"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "D")},
+            ring=INT_RING,
+        )
+        assert not is_hierarchical(q)
+
+    def test_paper_query_not_hierarchical(self):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        # atoms(A) = {R,S}, atoms(C) = {S,T}: overlapping, incomparable.
+        assert not is_hierarchical(q)
+
+
+class TestQHierarchical:
+    def test_housing_star_is_q_hierarchical(self):
+        from repro.datasets import housing
+
+        q = Query("housing", housing.SCHEMAS, ring=INT_RING)
+        assert is_q_hierarchical(q)
+
+    def test_free_variable_below_bound_breaks_it(self):
+        # atoms(X) = {R1} strictly inside atoms(P) = {R1, R2}; X free, P bound.
+        schemas = {"R1": ("P", "X"), "R2": ("P", "Y")}
+        ok = Query("a", schemas, free=("P",), ring=INT_RING)
+        assert is_q_hierarchical(ok)
+        broken = Query("b", schemas, free=("X",), ring=INT_RING)
+        assert not is_q_hierarchical(broken)
+
+    def test_non_hierarchical_is_not_q_hierarchical(self):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        assert not is_q_hierarchical(q)
+
+
+class TestUpdateCostSketch:
+    def test_example11_analysis(self):
+        """The paper's Example 1.1: O(1) for S, linear for R and T."""
+        q = Query("Q", PAPER_SCHEMAS, free=("A", "C"), ring=INT_RING)
+        order = VariableOrder.from_spec(("A", [("C", ["B", "D", "E"])]))
+        sketch = update_cost_sketch(q, order)
+        assert sketch["S"] == "O(1)"
+        assert sketch["R"] == "O(N^1)"
+        assert sketch["T"] == "O(N^1)"
+
+    def test_housing_star_all_constant(self):
+        from repro.datasets import housing
+
+        q = Query("housing", housing.SCHEMAS, ring=INT_RING)
+        sketch = update_cost_sketch(q, housing.variable_order())
+        assert all(cost == "O(1)" for cost in sketch.values())
+
+    def test_count_query_figure2(self):
+        """Example 4.1: single-tuple updates to R or S are O(1), to T linear."""
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        sketch = update_cost_sketch(q, paper_variable_order())
+        assert sketch["R"] == "O(1)"
+        assert sketch["S"] == "O(1)"
+        assert sketch["T"] == "O(N^1)"
+
+    def test_triangle_with_materialized_pair(self):
+        q = Query(
+            "tri",
+            {"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "A")},
+            ring=INT_RING,
+        )
+        sketch = update_cost_sketch(q, VariableOrder.chain(("A", "B", "C")))
+        assert sketch["R"] == "O(1)"  # Example B.1's space-for-time tradeoff
+        assert sketch["S"] == "O(N^1)"
+        assert sketch["T"] == "O(N^1)"

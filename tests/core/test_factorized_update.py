@@ -1,0 +1,209 @@
+"""Tests for factorizable updates (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FIVMEngine, FactorizedUpdate, Query, decompose
+from repro.data import Database, Relation, SchemaError
+from repro.rings import INT_RING, REAL_RING, SquareMatrixRing
+
+from tests.conftest import (
+    PAPER_SCHEMAS,
+    figure2_database,
+    paper_variable_order,
+    recompute,
+)
+
+
+def unary(name, var, data, ring=INT_RING):
+    return Relation(name, (var,), ring, data)
+
+
+class TestFactorizedUpdateContainer:
+    def test_rank_one(self):
+        update = FactorizedUpdate.rank_one(
+            "R", [unary("u", "A", {(1,): 2}), unary("v", "B", {(5,): 3})]
+        )
+        assert update.rank == 1
+        flat = update.flatten(("A", "B"))
+        assert dict(flat.items()) == {(1, 5): 6}
+
+    def test_rank_r_flatten_sums_terms(self):
+        terms = [
+            [unary("u1", "A", {(1,): 1}), unary("v1", "B", {(5,): 1})],
+            [unary("u2", "A", {(1,): 1}), unary("v2", "B", {(5,): 2, (6,): 1})],
+        ]
+        update = FactorizedUpdate("R", terms)
+        assert update.rank == 2
+        flat = update.flatten(("A", "B"))
+        assert dict(flat.items()) == {(1, 5): 3, (1, 6): 1}
+
+    def test_overlapping_factor_schemas_rejected(self):
+        with pytest.raises(SchemaError):
+            FactorizedUpdate.rank_one(
+                "R", [unary("u", "A", {(1,): 1}), unary("v", "A", {(2,): 1})]
+            )
+
+    def test_inconsistent_terms_rejected(self):
+        with pytest.raises(SchemaError):
+            FactorizedUpdate("R", [
+                [unary("u", "A", {(1,): 1})],
+                [unary("v", "B", {(1,): 1})],
+            ])
+
+    def test_flatten_schema_checked(self):
+        update = FactorizedUpdate.rank_one("R", [unary("u", "A", {(1,): 1})])
+        with pytest.raises(SchemaError):
+            update.flatten(("A", "B"))
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            FactorizedUpdate("R", [])
+
+    def test_cumulative_size_example51(self):
+        """Example 5.1: nm keys decompose into n + m values."""
+        n, m = 6, 9
+        full = Relation(
+            "R", ("A", "B"), INT_RING,
+            {(i, j): 1 for i in range(n) for j in range(m)},
+        )
+        update = decompose(full)
+        assert update.cumulative_size() == n + m
+        assert len(full) == n * m
+
+
+class TestDecompose:
+    def test_product_relation_recovers_factors(self):
+        u = unary("u", "A", {(1,): 2, (2,): 1})
+        v = unary("v", "B", {(5,): 3, (6,): 1})
+        product = u.join(v).rename({}, name="R")
+        update = decompose(product)
+        assert update.rank == 1
+        assert len(update.terms[0]) == 2
+        assert update.flatten(("A", "B")).same_as(product)
+
+    def test_non_factorizable_kept_whole(self):
+        diagonal = Relation("R", ("A", "B"), INT_RING, {(1, 1): 1, (2, 2): 1})
+        update = decompose(diagonal)
+        assert len(update.terms[0]) == 1
+        assert update.flatten(("A", "B")).same_as(diagonal)
+
+    def test_three_way_product(self):
+        u = unary("u", "A", {(1,): 1, (2,): 1})
+        v = unary("v", "B", {(3,): 2})
+        w = unary("w", "C", {(4,): 1, (5,): 1})
+        product = u.join(v).join(w).rename({}, name="R")
+        update = decompose(product)
+        assert len(update.terms[0]) == 3
+        assert update.flatten(("A", "B", "C")).same_as(product)
+
+    def test_float_payloads(self):
+        u = Relation("u", ("A",), REAL_RING, {(1,): 0.5, (2,): 1.5})
+        v = Relation("v", ("B",), REAL_RING, {(7,): 2.0})
+        product = u.join(v).rename({}, name="R")
+        update = decompose(product)
+        assert update.flatten(("A", "B")).same_as(product)
+
+    def test_single_column_relation(self):
+        r = unary("R", "A", {(1,): 1})
+        update = decompose(r)
+        assert update.rank == 1
+        assert update.flatten(("A",)).same_as(r)
+
+
+class TestEnginePropagation:
+    """Factorized propagation must agree with listing-form updates."""
+
+    def _engines(self, updatable=("S",)):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        order = paper_variable_order()
+        factored = FIVMEngine(q, order, updatable=updatable, db=figure2_database())
+        listing = FIVMEngine(q, order, updatable=updatable, db=figure2_database())
+        return q, order, factored, listing
+
+    def test_rank_one_equals_listing(self):
+        q, order, factored, listing = self._engines()
+        update = FactorizedUpdate.rank_one("S", [
+            unary("uA", "A", {("a1",): 1, ("a9",): 2}),
+            unary("uC", "C", {("c2",): 1}),
+            unary("uE", "E", {("e1",): 3}),
+        ])
+        factored.apply_factorized_update(update)
+        listing.apply_update(update.flatten(("A", "C", "E"), name="S"))
+        assert factored.result().same_as(listing.result())
+
+    def test_example52_delta_shape(self):
+        """Example 5.2: δS = δSA ⊗ δSC ⊗ δSE propagates as three factors and
+        the root delta is correct."""
+        q, order, factored, _ = self._engines()
+        db = figure2_database()
+        update = FactorizedUpdate.rank_one("S", [
+            unary("uA", "A", {("a1",): 1}),
+            unary("uC", "C", {("c1",): 1}),
+            unary("uE", "E", {("e7",): 1}),
+        ])
+        root_delta = factored.apply_factorized_update(update)
+        # (a1,c1,e7) joins 2 R-tuples (b1,b2) and 1 T-tuple (d1): delta = 2.
+        assert dict(root_delta.items()) == {(): 2}
+
+    def test_negative_payload_rank_one(self):
+        """Example 5.1's over-approximation trick needs negative factors."""
+        q, order, factored, listing = self._engines()
+        update = FactorizedUpdate.rank_one("S", [
+            unary("uA", "A", {("a1",): 1}),
+            unary("uC", "C", {("c1",): -1}),
+            unary("uE", "E", {("e1",): 1}),
+        ])
+        factored.apply_factorized_update(update)
+        listing.apply_update(update.flatten(("A", "C", "E"), name="S"))
+        assert factored.result().same_as(listing.result())
+
+    def test_rank_r_sequence(self, rng):
+        q, order, factored, listing = self._engines()
+        for trial in range(10):
+            terms = []
+            for _ in range(rng.randint(1, 3)):
+                terms.append([
+                    unary("uA", "A", {(f"a{rng.randint(0,3)}",): rng.choice([1, -1])}),
+                    unary("uC", "C", {(f"c{rng.randint(0,3)}",): 1}),
+                    unary("uE", "E", {(f"e{rng.randint(0,3)}",): rng.randint(1, 2)}),
+                ])
+            update = FactorizedUpdate("S", terms)
+            factored.apply_factorized_update(update)
+            listing.apply_update(update.flatten(("A", "C", "E"), name="S"))
+            assert factored.result().same_as(listing.result())
+
+    def test_updatable_base_absorbs_flattened(self):
+        """When the base copy is stored (here: R is a direct sibling of
+        another updatable subtree), it receives the delta in listing form."""
+        from repro.core import VariableOrder
+
+        schemas = {"R": ("A", "B"), "S": ("B", "C")}
+        q = Query("two", schemas, ring=INT_RING)
+        order = VariableOrder.chain(("A", "B", "C"))
+        engine = FIVMEngine(q, order)  # both updatable
+        leaf_name = engine.tree.leaves["R"].name
+        assert leaf_name in engine.views, "R must be stored as a sibling"
+        update = FactorizedUpdate.rank_one("R", [
+            unary("uA", "A", {(1,): 1, (2,): 1}),
+            unary("uB", "B", {(7,): 2}),
+        ])
+        engine.apply_factorized_update(update)
+        stored = engine.views[leaf_name]
+        assert stored.payload((1, 7)) == 2
+        assert stored.payload((2, 7)) == 2
+
+    def test_non_commutative_ring_rejected(self):
+        ring = SquareMatrixRing(2)
+        q = Query("Q", PAPER_SCHEMAS, ring=ring)
+        engine = FIVMEngine(q, paper_variable_order())
+        update = FactorizedUpdate.rank_one(
+            "S",
+            [
+                Relation("uA", ("A",), ring, {(1,): np.eye(2)}),
+                Relation("uC", ("C",), ring, {(1,): np.eye(2)}),
+                Relation("uE", ("E",), ring, {(1,): np.eye(2)}),
+            ],
+        )
+        with pytest.raises(ValueError):
+            engine.apply_factorized_update(update)

@@ -1,0 +1,202 @@
+"""Tests for view-tree construction (Figure 3) and evaluation (Figure 2)."""
+
+import pytest
+
+from repro.core import Query, VariableOrder, build_view_tree
+from repro.data import Relation, SchemaError
+from repro.rings import INT_RING, Lifting
+
+from tests.conftest import (
+    PAPER_SCHEMAS,
+    figure2_database,
+    paper_variable_order,
+)
+
+
+def count_query(free=()):
+    return Query("Q", PAPER_SCHEMAS, free=free, ring=INT_RING)
+
+
+class TestFigure2:
+    """The worked COUNT example: exact view contents from Figure 2d."""
+
+    def setup_method(self):
+        self.tree = build_view_tree(count_query(), paper_variable_order())
+        self.results = self.tree.evaluate(figure2_database())
+
+    def _view(self, fragment):
+        for name, contents in self.results.items():
+            if name.startswith(fragment):
+                return contents
+        raise AssertionError(f"no view named like {fragment}")
+
+    def test_root_count(self):
+        assert dict(self._view("V@A").items()) == {(): 10}
+
+    def test_view_at_b(self):
+        assert dict(self._view("V@B").items()) == {
+            ("a1",): 2, ("a2",): 1, ("a3",): 1,
+        }
+
+    def test_view_at_c(self):
+        assert dict(self._view("V@C").items()) == {("a1",): 4, ("a2",): 2}
+
+    def test_view_at_d(self):
+        assert dict(self._view("V@D").items()) == {
+            ("c1",): 1, ("c2",): 2, ("c3",): 1,
+        }
+
+    def test_view_at_e(self):
+        assert dict(self._view("V@E").items()) == {
+            ("a1", "c1"): 2, ("a1", "c2"): 1, ("a2", "c2"): 1,
+        }
+
+    def test_keys_match_figure(self):
+        by_prefix = {
+            "V@A": (), "V@B": ("A",), "V@C": ("A",),
+            "V@D": ("C",), "V@E": ("A", "C"),
+        }
+        for node in self.tree.inner_views():
+            prefix = node.name.split("_")[0]
+            assert node.keys == by_prefix[prefix], node
+
+
+class TestStructure:
+    def test_five_inner_views(self):
+        tree = build_view_tree(count_query(), paper_variable_order())
+        assert tree.view_count() == 5
+        assert len(tree.leaves) == 3
+
+    def test_path_to_root(self):
+        tree = build_view_tree(count_query(), paper_variable_order())
+        path = [n.name.split("_")[0] for n in tree.path_to_root("T")]
+        assert path == ["V@D", "V@C", "V@A"]
+
+    def test_parent_pointers(self):
+        tree = build_view_tree(count_query(), paper_variable_order())
+        assert tree.root.parent is None
+        for node in tree.nodes:
+            for child in node.children:
+                assert child.parent is node
+
+    def test_pretty_contains_all_views(self):
+        tree = build_view_tree(count_query(), paper_variable_order())
+        rendering = tree.pretty()
+        for node in tree.inner_views():
+            assert node.name in rendering
+
+    def test_relations_sets(self):
+        tree = build_view_tree(count_query(), paper_variable_order())
+        assert tree.root.relations == frozenset({"R", "S", "T"})
+
+
+class TestFreeVariables:
+    def test_free_vars_kept_in_keys(self):
+        """Example 2.3's Q[A, C]: group-by keys survive to the root."""
+        tree = build_view_tree(count_query(free=("A", "C")), paper_variable_order())
+        assert set(tree.root.keys) == {"A", "C"}
+        results = tree.evaluate(figure2_database())
+        root = results[tree.root.name]
+        # COUNT per (A, C) group over the join:
+        # (a1,c1): 2 B-values × 2 E-values × 1 D-value = 4, etc.
+        assert dict(root.items()) == {
+            ("a1", "c1"): 4,
+            ("a1", "c2"): 4,
+            ("a2", "c2"): 2,
+        }
+
+    def test_identical_views_elided(self):
+        """Free variables on top produce identical views, stored once."""
+        order = VariableOrder.from_spec(
+            ("A", [("C", ["B", "D", "E"])])
+        )
+        query = count_query(free=("A", "C"))
+        tree = build_view_tree(query, order)
+        # Without elision there would be views at A and C with equal keys.
+        names = [n.name for n in tree.inner_views()]
+        assert len(names) == len(set(names))
+        keys = [n.keys for n in tree.inner_views()]
+        assert keys.count(("A", "C")) <= len(query.relations)
+        results = tree.evaluate(figure2_database())
+        assert results[tree.root.name].payload(("a1", "c1")) == 4
+
+
+class TestChainCollapsing:
+    def test_wide_relation_collapses(self):
+        query = Query(
+            "wide", {"W": ("K", "P1", "P2", "P3", "P4")}, ring=INT_RING
+        )
+        order = VariableOrder.chain(("K", "P1", "P2", "P3", "P4"))
+        collapsed = build_view_tree(query, order, collapse_chains=True)
+        expanded = build_view_tree(query, order, collapse_chains=False)
+        assert collapsed.view_count() < expanded.view_count()
+        # Collapsing must not change results.
+        db_rows = [(1, 2, 3, 4, 5), (1, 6, 7, 8, 9), (2, 1, 1, 1, 1)]
+        from tests.conftest import make_database
+
+        db = make_database({"W": query.schema_of("W")}, INT_RING, {"W": db_rows})
+        r1 = collapsed.evaluate(db)[collapsed.root.name]
+        r2 = expanded.evaluate(db)[expanded.root.name]
+        assert r1.same_as(r2)
+
+    def test_collapse_preserves_lifting_order(self):
+        """Lifted marginalization gives identical results when collapsed."""
+        query_args = dict(
+            relations={"W": ("K", "P1", "P2")}, free=("K",), ring=INT_RING
+        )
+        lifting = Lifting(INT_RING, {"P1": lambda x: x, "P2": lambda x: x + 1})
+        q = Query("wide", lifting=lifting, **query_args)
+        order = VariableOrder.chain(("K", "P1", "P2"))
+        from tests.conftest import make_database
+
+        db = make_database({"W": q.schema_of("W")}, INT_RING, {"W": [(1, 2, 3), (1, 4, 5)]})
+        collapsed = build_view_tree(q, order, collapse_chains=True)
+        expanded = build_view_tree(q, order, collapse_chains=False)
+        r1 = collapsed.evaluate(db)[collapsed.root.name]
+        r2 = expanded.evaluate(db)[expanded.root.name]
+        assert r1.same_as(r2)
+        assert r1.payload((1,)) == 2 * (3 + 1) + 4 * (5 + 1)
+
+
+class TestEdgeCases:
+    def test_single_relation_query(self):
+        q = Query("one", {"R": ("A", "B")}, free=("A",), ring=INT_RING)
+        tree = build_view_tree(q)
+        from tests.conftest import make_database
+
+        db = make_database({"R": ("A", "B")}, INT_RING, {"R": [(1, 2), (1, 3)]})
+        result = tree.evaluate(db)[tree.root.name]
+        assert dict(result.items()) == {(1,): 2}
+
+    def test_disconnected_query_synthetic_root(self):
+        q = Query("d", {"R": ("A",), "S": ("B",)}, ring=INT_RING)
+        tree = build_view_tree(q)
+        from tests.conftest import make_database
+
+        db = make_database(
+            {"R": ("A",), "S": ("B",)}, INT_RING,
+            {"R": [(1,), (2,)], "S": [(5,), (6,), (7,)]},
+        )
+        result = tree.evaluate(db)[tree.root.name]
+        assert result.payload(()) == 6  # 2 × 3 Cartesian count
+
+    def test_invalid_order_rejected(self):
+        q = count_query()
+        bad = VariableOrder.from_spec(("A", [("B", ["E"]), ("C", ["D"])]))
+        with pytest.raises(SchemaError):
+            build_view_tree(q, bad)
+
+    def test_example61_tree_shape(self):
+        """Example 6.1: chain of four matrices, ω = X1-X5-X3-{X2,X4}."""
+        from repro.apps import chain_query, chain_variable_order
+
+        q = chain_query(4)
+        vo = chain_variable_order(4)
+        tree = build_view_tree(q, vo)
+        # Root keys are the free endpoints; inner views marginalize X2/X4/X3.
+        assert set(tree.root.keys) == {"X1", "X5"}
+        marginalized = {
+            v for node in tree.inner_views() for v in node.marginalized
+        }
+        assert marginalized == {"X2", "X3", "X4"}
+        assert tree.view_count() == 3  # V@X2, V@X4, V@X3 (X5/X1 elided)

@@ -1,0 +1,54 @@
+"""Tests for Database collections."""
+
+import pytest
+
+from repro.data import Database, Relation, SchemaError
+from repro.rings import INT_RING
+
+
+def make():
+    return Database([
+        Relation.from_tuples("R", ("A", "B"), INT_RING, [(1, 2), (3, 4)]),
+        Relation.from_tuples("S", ("B", "C"), INT_RING, [(2, 5)]),
+    ])
+
+
+class TestDatabase:
+    def test_lookup(self):
+        db = make()
+        assert db.relation("R").schema == ("A", "B")
+        assert db["S"].payload((2, 5)) == 1
+
+    def test_unknown_relation(self):
+        with pytest.raises(KeyError):
+            make().relation("Z")
+
+    def test_duplicate_name_rejected(self):
+        db = make()
+        with pytest.raises(SchemaError):
+            db.add(Relation("R", ("X",), INT_RING))
+
+    def test_contains_iter_len(self):
+        db = make()
+        assert "R" in db and "Z" not in db
+        assert len(db) == 2
+        assert {r.name for r in db} == {"R", "S"}
+
+    def test_size(self):
+        assert make().size == 3
+
+    def test_names_and_schemas(self):
+        db = make()
+        assert db.names == ("R", "S")
+        assert db.schemas()["S"] == ("B", "C")
+
+    def test_apply_update(self):
+        db = make()
+        db.apply_update(Relation("R", ("A", "B"), INT_RING, {(1, 2): -1}))
+        assert (1, 2) not in db["R"]
+
+    def test_copy_is_independent(self):
+        db = make()
+        clone = db.copy()
+        clone["R"].add((9, 9), 1)
+        assert (9, 9) not in db["R"]

@@ -1,0 +1,59 @@
+"""Tests for schema utilities."""
+
+import pytest
+
+from repro.data.schema import (
+    SchemaError,
+    as_schema,
+    key_projector,
+    merge_schemas,
+    schema_positions,
+)
+
+
+class TestAsSchema:
+    def test_normalizes(self):
+        assert as_schema(["A", "B"]) == ("A", "B")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            as_schema(["A", "A"])
+
+
+class TestMergeSchemas:
+    def test_natural_join_schema(self):
+        assert merge_schemas(("A", "B"), ("B", "C")) == ("A", "B", "C")
+
+    def test_disjoint(self):
+        assert merge_schemas(("A",), ("B",)) == ("A", "B")
+
+    def test_identical(self):
+        assert merge_schemas(("A", "B"), ("A", "B")) == ("A", "B")
+
+
+class TestSchemaPositions:
+    def test_positions(self):
+        assert schema_positions(("A", "B", "C"), ("C", "A")) == (2, 0)
+
+    def test_unknown_attr(self):
+        with pytest.raises(SchemaError):
+            schema_positions(("A",), ("Z",))
+
+
+class TestKeyProjector:
+    def test_identity_projection(self):
+        proj = key_projector(("A", "B"), ("A", "B"))
+        key = (1, 2)
+        assert proj(key) is key
+
+    def test_empty_projection(self):
+        proj = key_projector(("A", "B"), ())
+        assert proj((1, 2)) == ()
+
+    def test_single(self):
+        proj = key_projector(("A", "B"), ("B",))
+        assert proj((1, 2)) == (2,)
+
+    def test_multi(self):
+        proj = key_projector(("A", "B", "C"), ("C", "A"))
+        assert proj((1, 2, 3)) == (3, 1)

@@ -1,0 +1,133 @@
+"""Tests for the benchmark substrate: memory accounting and the harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    format_table,
+    payload_scalars,
+    relation_scalars,
+    run_stream,
+    strategy_scalars,
+)
+from repro.baselines import FirstOrderIVM, RecursiveIVM
+from repro.core import FIVMEngine, Query
+from repro.data import Relation
+from repro.datasets import UpdateBatch, UpdateStream
+from repro.rings import INT_RING, CofactorRing, RelationalRing
+
+from tests.conftest import PAPER_SCHEMAS, paper_variable_order
+
+
+class TestPayloadScalars:
+    def test_scalars(self):
+        assert payload_scalars(3) == 1
+        assert payload_scalars(2.5) == 1
+        assert payload_scalars(True) == 1
+        assert payload_scalars(None) == 0
+
+    def test_numpy(self):
+        assert payload_scalars(np.zeros((3, 4))) == 12
+
+    def test_cofactor_triple_counts_support_blocks(self):
+        ring = CofactorRing(10)
+        assert payload_scalars(ring.one) == 1
+        assert payload_scalars(ring.lift(3)(2.0)) == 3  # c + 1-vec + 1x1
+
+    def test_nested_relation(self):
+        ring = RelationalRing()
+        payload = Relation("p", ("X",), INT_RING, {(1,): 1, (2,): 3})
+        assert payload_scalars(payload) == 4  # 2 keys × (1 attr + 1 payload)
+
+    def test_degree_dict(self):
+        poly = {(): 1.0, (0,): 2.0, (0, 1): 3.0}
+        assert payload_scalars(poly) == 1 + 2 + 3
+
+    def test_tuple_payload(self):
+        assert payload_scalars((1, 2.0)) == 2
+
+    def test_relation_scalars(self):
+        rel = Relation("R", ("A", "B"), INT_RING, {(1, 2): 1, (3, 4): 2})
+        assert relation_scalars(rel) == 2 * (2 + 1)
+
+
+class TestStrategyScalars:
+    def test_fivm_engine(self):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        engine = FIVMEngine(q, paper_variable_order())
+        engine.apply_update(Relation("R", ("A", "B"), INT_RING, {(1, 2): 1}))
+        assert strategy_scalars(engine) > 0
+
+    def test_first_order(self):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        strategy = FirstOrderIVM(q, paper_variable_order())
+        strategy.apply_update(Relation("R", ("A", "B"), INT_RING, {(1, 2): 1}))
+        assert strategy_scalars(strategy) >= 3
+
+    def test_recursive(self):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        strategy = RecursiveIVM(q)
+        strategy.apply_update(Relation("R", ("A", "B"), INT_RING, {(1, 2): 1}))
+        assert strategy_scalars(strategy) > 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(TypeError):
+            strategy_scalars(object())
+
+
+class TestRunStream:
+    def _stream(self, n_batches=10):
+        batches = [
+            UpdateBatch("R", [(i, i % 3)], +1) for i in range(n_batches)
+        ]
+        return UpdateStream({"R": ("A", "B"), "S": ("A", "C", "E"), "T": ("C", "D")}, batches)
+
+    def _engine(self):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        return FIVMEngine(q, paper_variable_order())
+
+    def test_checkpoints_recorded(self):
+        result = run_stream("x", self._engine(), self._stream(), INT_RING, checkpoints=5)
+        assert result.total_tuples == 10
+        assert result.fractions[-1] == 1.0
+        assert len(result.fractions) == len(result.throughput) == len(result.memory)
+        assert not result.timed_out
+
+    def test_time_budget_marks_timeout(self):
+        engine = self._engine()
+
+        def slow_apply(delta):
+            import time
+
+            time.sleep(0.01)
+            engine.apply_update(delta)
+
+        result = run_stream(
+            "slow", engine, self._stream(50), INT_RING,
+            time_budget=0.03, apply=slow_apply,
+        )
+        assert result.timed_out
+        assert result.total_tuples < 50
+
+    def test_empty_stream(self):
+        result = run_stream("e", self._engine(), UpdateStream(PAPER_SCHEMAS, []), INT_RING)
+        assert result.total_tuples == 0
+        assert result.average_throughput == float("inf")
+
+    def test_average_and_peak(self):
+        result = run_stream("x", self._engine(), self._stream(), INT_RING)
+        assert result.average_throughput > 0
+        assert result.peak_memory == max(result.memory)
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        table = format_table("T", ["a", "bb"], [[1, 2.5], ["xy", 0.0001]])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "1.000e-04" in table
+
+    def test_empty_rows(self):
+        table = format_table("T", ["col"], [])
+        assert "col" in table

@@ -1,0 +1,109 @@
+"""Tests for the degree-indexed ring (SQL-OPT's payload encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings import CofactorRing, check_ring_axioms
+from repro.rings.degree import DegreeRing
+
+
+class TestDegreeRing:
+    def test_identities(self):
+        ring = DegreeRing(3)
+        assert ring.zero == {}
+        assert ring.one == {(): 1.0}
+
+    def test_lift(self):
+        ring = DegreeRing(3)
+        poly = ring.lift(1)(4.0)
+        assert poly == {(): 1.0, (1,): 4.0, (1, 1): 16.0}
+
+    def test_truncation(self):
+        """Monomials of degree ≥ 3 vanish (the quotient structure)."""
+        ring = DegreeRing(3)
+        a = ring.lift(0)(2.0)
+        b = ring.lift(1)(3.0)
+        c = ring.lift(2)(5.0)
+        product = ring.mul(ring.mul(a, b), c)
+        assert all(len(monomial) <= 2 for monomial in product)
+        # Degree-2 cross terms survive: coefficient of x0·x1 is 2*3.
+        assert product[(0, 1)] == 6.0
+
+    def test_lift_validation(self):
+        with pytest.raises(ValueError):
+            DegreeRing(2).lift(5)
+        with pytest.raises(ValueError):
+            DegreeRing(0)
+
+    def test_add_cancels(self):
+        ring = DegreeRing(2)
+        a = ring.lift(0)(1.5)
+        assert ring.is_zero(ring.add(a, ring.neg(a)))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=3, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_axioms(self, seeds):
+        ring = DegreeRing(2)
+        elements = []
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            element = ring.zero
+            for _ in range(int(rng.integers(0, 3))):
+                j = int(rng.integers(0, 2))
+                element = ring.add(element, ring.lift(j)(float(rng.uniform(-2, 2))))
+            elements.append(element)
+        check_ring_axioms(ring, elements)
+
+
+class TestIsomorphismWithCofactorRing:
+    """DegreeRing and CofactorRing implement the same quotient ring.
+
+    SQL-OPT and F-IVM maintain identical mathematical objects; only the
+    payload data structure differs.  Random expressions must agree.
+    """
+
+    @staticmethod
+    def _to_triple(ring_c: CofactorRing, poly: dict):
+        m = ring_c.degree
+        count = poly.get((), 0.0)
+        sums = np.zeros(m)
+        quads = np.zeros((m, m))
+        for monomial, coeff in poly.items():
+            if len(monomial) == 1:
+                sums[monomial[0]] = coeff
+            elif len(monomial) == 2:
+                i, j = monomial
+                quads[i, j] += coeff
+                if i != j:
+                    quads[j, i] += coeff
+        from repro.rings import CofactorTriple
+
+        return CofactorTriple(m, count, sums, quads)
+
+    def test_random_expressions_agree(self):
+        """Sums of products of distinct-variable lifts agree across rings.
+
+        This is the query-shaped fragment: each variable is lifted exactly
+        once along any join path, so no payload is ever multiplied by
+        another payload mentioning the same variable.  (Self-products of a
+        shared variable differ by symmetrization and never occur in view
+        trees.)
+        """
+        m = 4
+        ring_d = DegreeRing(m)
+        ring_c = CofactorRing(m)
+        rng = np.random.default_rng(9)
+        for _ in range(30):
+            poly_acc, triple_acc = ring_d.zero, ring_c.zero
+            for _ in range(int(rng.integers(1, 4))):
+                variables = rng.permutation(m)[: rng.integers(1, m + 1)]
+                poly_term, triple_term = ring_d.one, ring_c.one
+                for j in variables:
+                    x = float(rng.uniform(-2, 2))
+                    poly_term = ring_d.mul(poly_term, ring_d.lift(int(j))(x))
+                    triple_term = ring_c.mul(triple_term, ring_c.lift(int(j))(x))
+                poly_acc = ring_d.add(poly_acc, poly_term)
+                triple_acc = ring_c.add(triple_acc, triple_term)
+            assert ring_c.eq(self._to_triple(ring_c, poly_acc), triple_acc)

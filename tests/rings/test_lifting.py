@@ -1,0 +1,32 @@
+"""Tests for lifting-function tables."""
+
+from repro.rings import INT_RING, Lifting, constant_one, numeric_identity
+
+
+class TestLifting:
+    def test_default_is_implicit_one(self):
+        lifting = Lifting(INT_RING)
+        assert lifting.get("X") is None
+        assert "X" not in lifting
+
+    def test_set_and_get(self):
+        lifting = Lifting(INT_RING)
+        lifting.set("X", numeric_identity(INT_RING))
+        assert lifting.get("X")(7) == 7
+        assert "X" in lifting
+
+    def test_chaining(self):
+        lifting = Lifting(INT_RING).set("X", numeric_identity(INT_RING)).set(
+            "Y", constant_one(INT_RING)
+        )
+        assert lifting.get("Y")(123) == 1
+
+    def test_table_and_restricted(self):
+        identity = numeric_identity(INT_RING)
+        lifting = Lifting(INT_RING, {"X": identity})
+        assert lifting.table() == {"X": identity}
+        assert lifting.restricted(["X", "Z"]) == {"X": identity}
+
+    def test_constant_one(self):
+        lift = constant_one(INT_RING)
+        assert lift("anything") == 1

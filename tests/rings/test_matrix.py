@@ -1,0 +1,54 @@
+"""Tests for the non-commutative n×n matrix ring."""
+
+import numpy as np
+import pytest
+
+from repro.rings import SquareMatrixRing, check_ring_axioms
+
+
+class TestSquareMatrixRing:
+    def test_identities(self):
+        ring = SquareMatrixRing(3)
+        assert np.array_equal(ring.zero, np.zeros((3, 3)))
+        assert np.array_equal(ring.one, np.eye(3))
+
+    def test_identities_are_frozen(self):
+        ring = SquareMatrixRing(2)
+        with pytest.raises(ValueError):
+            ring.one[0, 0] = 5.0
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            SquareMatrixRing(0)
+
+    def test_non_commutative(self):
+        ring = SquareMatrixRing(2)
+        a = np.array([[0.0, 1.0], [0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert not ring.eq(ring.mul(a, b), ring.mul(b, a))
+        assert not ring.is_commutative
+
+    def test_axioms(self):
+        ring = SquareMatrixRing(2)
+        rng = np.random.default_rng(1)
+        elements = [ring.random(rng) for _ in range(3)]
+        check_ring_axioms(ring, elements)
+
+    def test_from_int(self):
+        ring = SquareMatrixRing(2)
+        assert np.array_equal(ring.from_int(3), 3.0 * np.eye(2))
+
+    def test_is_zero_tolerance(self):
+        ring = SquareMatrixRing(2)
+        assert ring.is_zero(1e-12 * np.ones((2, 2)))
+        assert not ring.is_zero(np.eye(2))
+
+    def test_ops_do_not_mutate(self):
+        ring = SquareMatrixRing(2)
+        rng = np.random.default_rng(2)
+        a, b = ring.random(rng), ring.random(rng)
+        a_copy = a.copy()
+        ring.add(a, b)
+        ring.mul(a, b)
+        ring.neg(a)
+        assert np.array_equal(a, a_copy)

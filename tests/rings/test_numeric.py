@@ -1,0 +1,159 @@
+"""Unit and property tests for the scalar (semi)rings."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings import (
+    BOOL_SEMIRING,
+    INT_RING,
+    BooleanSemiring,
+    IntegerRing,
+    MaxProductSemiring,
+    RealRing,
+    VectorRing,
+    check_ring_axioms,
+)
+
+ints = st.integers(min_value=-50, max_value=50)
+floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestIntegerRing:
+    def test_identities(self):
+        assert INT_RING.zero == 0
+        assert INT_RING.one == 1
+
+    def test_is_zero(self):
+        assert INT_RING.is_zero(0)
+        assert not INT_RING.is_zero(3)
+
+    def test_from_int_passthrough(self):
+        assert INT_RING.from_int(-7) == -7
+
+    def test_sub(self):
+        assert INT_RING.sub(5, 8) == -3
+
+    def test_sum_and_product(self):
+        assert INT_RING.sum([1, 2, 3]) == 6
+        assert INT_RING.product([2, 3, 4]) == 24
+        assert INT_RING.sum([]) == 0
+        assert INT_RING.product([]) == 1
+
+    def test_scale(self):
+        assert INT_RING.scale(3, 5) == 15
+        assert INT_RING.scale(-2, 5) == -10
+
+    @given(st.lists(ints, min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_axioms(self, elements):
+        check_ring_axioms(INT_RING, elements)
+
+
+class TestRealRing:
+    def test_tolerant_zero(self):
+        ring = RealRing(tolerance=1e-9)
+        assert ring.is_zero(1e-12)
+        assert not ring.is_zero(1e-3)
+
+    def test_eq_close(self):
+        ring = RealRing()
+        assert ring.eq(0.1 + 0.2, 0.3)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            RealRing(tolerance=-1.0)
+
+    def test_from_int(self):
+        assert RealRing().from_int(4) == 4.0
+
+    @given(st.lists(floats, min_size=1, max_size=3))
+    @settings(max_examples=30)
+    def test_additive_inverse(self, elements):
+        ring = RealRing()
+        for a in elements:
+            assert ring.is_zero(ring.add(a, ring.neg(a)))
+
+
+class TestBooleanSemiring:
+    def test_or_and(self):
+        ring = BOOL_SEMIRING
+        assert ring.add(True, False) is True
+        assert ring.mul(True, False) is False
+
+    def test_no_negation(self):
+        with pytest.raises(NotImplementedError):
+            BOOL_SEMIRING.neg(True)
+
+    def test_from_int(self):
+        assert BOOL_SEMIRING.from_int(0) is False
+        assert BOOL_SEMIRING.from_int(2) is True
+        with pytest.raises(ValueError):
+            BOOL_SEMIRING.from_int(-1)
+
+    def test_has_no_additive_inverse_flag(self):
+        assert not BooleanSemiring().has_additive_inverse
+
+
+class TestMaxProductSemiring:
+    def test_add_is_max(self):
+        ring = MaxProductSemiring()
+        assert ring.add(0.3, 0.7) == 0.7
+
+    def test_mul_is_product(self):
+        ring = MaxProductSemiring()
+        assert math.isclose(ring.mul(0.5, 0.5), 0.25)
+
+    def test_identities(self):
+        ring = MaxProductSemiring()
+        probs = [0.1, 0.5, 0.9]
+        for p in probs:
+            assert ring.eq(ring.add(ring.zero, p), p)
+            assert ring.eq(ring.mul(ring.one, p), p)
+
+    def test_no_negation(self):
+        with pytest.raises(NotImplementedError):
+            MaxProductSemiring().neg(0.5)
+
+
+class TestVectorRing:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            VectorRing(0)
+
+    def test_elementwise_ops(self):
+        ring = VectorRing(3)
+        a, b = (1.0, 2.0, 3.0), (4.0, 5.0, 6.0)
+        assert ring.add(a, b) == (5.0, 7.0, 9.0)
+        assert ring.mul(a, b) == (4.0, 10.0, 18.0)
+        assert ring.neg(a) == (-1.0, -2.0, -3.0)
+
+    def test_identities(self):
+        ring = VectorRing(2)
+        assert ring.zero == (0.0, 0.0)
+        assert ring.one == (1.0, 1.0)
+        assert ring.from_int(3) == (3.0, 3.0)
+
+    def test_is_zero(self):
+        ring = VectorRing(2)
+        assert ring.is_zero((0.0, 1e-12))
+        assert not ring.is_zero((0.0, 0.5))
+
+    @given(st.lists(st.tuples(floats, floats), min_size=1, max_size=3))
+    @settings(max_examples=30)
+    def test_axioms(self, elements):
+        check_ring_axioms(VectorRing(2), elements)
+
+
+class TestAxiomChecker:
+    def test_detects_broken_ring(self):
+        class Broken(IntegerRing):
+            def mul(self, a, b):
+                return a * b + 1  # breaks identity and distributivity
+
+        with pytest.raises(AssertionError):
+            check_ring_axioms(Broken(), [0, 1, 2])

@@ -1,0 +1,55 @@
+"""Tests for product rings (compound aggregates without sharing)."""
+
+import pytest
+
+from repro.rings import (
+    BOOL_SEMIRING,
+    INT_RING,
+    ProductRing,
+    RealRing,
+    check_ring_axioms,
+)
+
+
+class TestProductRing:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProductRing([])
+
+    def test_componentwise(self):
+        ring = ProductRing([INT_RING, RealRing()])
+        assert ring.zero == (0, 0.0)
+        assert ring.one == (1, 1.0)
+        assert ring.add((1, 2.0), (3, 4.0)) == (4, 6.0)
+        assert ring.mul((2, 3.0), (4, 5.0)) == (8, 15.0)
+        assert ring.neg((1, -2.0)) == (-1, 2.0)
+
+    def test_from_int(self):
+        ring = ProductRing([INT_RING, RealRing()])
+        assert ring.from_int(3) == (3, 3.0)
+
+    def test_axioms(self):
+        ring = ProductRing([INT_RING, RealRing()])
+        check_ring_axioms(ring, [(0, 0.0), (1, 1.0), (2, -1.5), (-3, 0.25)])
+
+    def test_semiring_component_disables_inverse(self):
+        ring = ProductRing([INT_RING, BOOL_SEMIRING])
+        assert not ring.has_additive_inverse
+        with pytest.raises(NotImplementedError):
+            ring.neg((1, True))
+
+    def test_is_zero(self):
+        ring = ProductRing([INT_RING, RealRing()])
+        assert ring.is_zero((0, 1e-12))
+        assert not ring.is_zero((1, 0.0))
+
+    def test_maintains_two_sums_at_once(self):
+        """A COUNT and a SUM maintained as one compound payload."""
+        from repro.rings import Lifting
+
+        ring = ProductRing([INT_RING, INT_RING])
+        lift = lambda x: (1, x)
+        total = ring.zero
+        for x in [3, 5, 9]:
+            total = ring.add(total, lift(x))
+        assert total == (3, 17)

@@ -1,0 +1,107 @@
+"""Tests for the relational data ring F[ℤ] (Definition 6.4)."""
+
+import pytest
+
+from repro.data import SchemaError
+from repro.rings import (
+    INT_RING,
+    RelationalRing,
+    bound_lift,
+    check_ring_axioms,
+    free_lift,
+    payload_relation,
+)
+
+
+@pytest.fixture
+def ring():
+    return RelationalRing()
+
+
+class TestIdentities:
+    def test_one_is_unit_relation(self, ring):
+        assert ring.one.schema == ()
+        assert ring.one.payload(()) == 1
+
+    def test_zero_is_empty(self, ring):
+        assert ring.is_zero(ring.zero)
+        assert len(ring.zero) == 0
+
+    def test_mul_by_one(self, ring):
+        a = payload_relation(("A",), {("x",): 2, ("y",): 1})
+        assert ring.eq(ring.mul(a, ring.one), a)
+        assert ring.eq(ring.mul(ring.one, a), a)
+
+    def test_mul_by_zero(self, ring):
+        a = payload_relation(("A",), {("x",): 2})
+        assert ring.is_zero(ring.mul(a, ring.zero))
+        assert ring.is_zero(ring.mul(ring.zero, a))
+
+    def test_add_zero(self, ring):
+        a = payload_relation(("A",), {("x",): 2})
+        assert ring.eq(ring.add(a, ring.zero), a)
+        assert ring.eq(ring.add(ring.zero, a), a)
+
+
+class TestOperations:
+    def test_add_is_union(self, ring):
+        a = payload_relation(("A",), {("x",): 2})
+        b = payload_relation(("A",), {("x",): 1, ("y",): 3})
+        merged = ring.add(a, b)
+        assert merged.payload(("x",)) == 3
+        assert merged.payload(("y",)) == 3
+
+    def test_add_cancellation(self, ring):
+        a = payload_relation(("A",), {("x",): 2})
+        assert ring.is_zero(ring.add(a, ring.neg(a)))
+
+    def test_mul_is_join(self, ring):
+        a = payload_relation(("A",), {("x",): 2})
+        b = payload_relation(("B",), {("u",): 3})
+        product = ring.mul(a, b)
+        assert product.payload(("x", "u")) == 6
+
+    def test_mul_shared_attribute(self, ring):
+        a = payload_relation(("A", "B"), {("x", "u"): 2})
+        b = payload_relation(("B",), {("u",): 3, ("v",): 1})
+        product = ring.mul(a, b)
+        assert product.payload(("x", "u")) == 6
+        assert len(product) == 1
+
+    def test_add_schema_mismatch_raises(self, ring):
+        a = payload_relation(("A",), {("x",): 1})
+        b = payload_relation(("B",), {("u",): 1})
+        with pytest.raises(SchemaError):
+            ring.add(a, b)
+
+    def test_from_int(self, ring):
+        assert ring.from_int(0) is ring.zero
+        assert ring.from_int(3).payload(()) == 3
+
+
+class TestLifts:
+    def test_free_lift(self):
+        lift = free_lift("X")
+        payload = lift(7)
+        assert payload.schema == ("X",)
+        assert payload.payload((7,)) == 1
+
+    def test_bound_lift_is_one(self):
+        ring = RelationalRing()
+        lift = bound_lift()
+        assert ring.eq(lift("anything"), ring.one)
+
+
+class TestAxioms:
+    def test_axioms_on_nullary_payloads(self, ring):
+        """Full ring axioms hold on the ()-schema fragment (cf. footnote 2)."""
+        elements = [ring.zero, ring.one, ring.from_int(3), ring.from_int(-2)]
+        check_ring_axioms(ring, elements)
+
+    def test_distributivity_same_schema(self, ring):
+        a = payload_relation(("A",), {("x",): 2})
+        b = payload_relation(("A",), {("x",): 1, ("y",): 3})
+        c = payload_relation(("A",), {("y",): 5})
+        left = ring.mul(a, ring.add(b, c))
+        right = ring.add(ring.mul(a, b), ring.mul(a, c))
+        assert ring.eq(left, right)
