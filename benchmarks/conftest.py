@@ -12,6 +12,7 @@ what these benches verify, via assertions in each test.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -27,12 +28,46 @@ TIME_BUDGET = float(os.environ.get("FIVM_BENCH_BUDGET", "10.0")) * SCALE
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def report(name: str, text: str) -> None:
-    """Print a results table and persist it under benchmarks/results/."""
+def report(name: str, text: str, data=None) -> None:
+    """Print a results table and persist it under benchmarks/results/.
+
+    ``data`` (any JSON-serializable value) is additionally written to
+    ``BENCH_<name>.json`` next to the text table, so the perf trajectory is
+    machine-readable across PRs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+    if data is not None:
+        json_path = RESULTS_DIR / f"BENCH_{name}.json"
+        json_path.write_text(
+            json.dumps(data, indent=2, sort_keys=True, default=float) + "\n"
+        )
+        print(f"[metrics written to {json_path}]")
+
+
+def stream_results_data(results) -> dict:
+    """JSON payload for a list of :class:`StreamRunResult`.
+
+    Captures, per strategy, the average throughput and peak memory plus the
+    full per-checkpoint (fraction, throughput, memory) series — the axes of
+    the paper's figures, keyed for cross-PR comparison.
+    """
+    return {
+        r.name: {
+            "average_throughput": r.average_throughput,
+            "peak_memory": r.peak_memory,
+            "total_tuples": r.total_tuples,
+            "total_seconds": r.total_seconds,
+            "timed_out": r.timed_out,
+            "checkpoints": [
+                {"fraction": f, "throughput": t, "memory": m}
+                for f, t, m in zip(r.fractions, r.throughput, r.memory)
+            ],
+        }
+        for r in results
+    }
 
 
 @pytest.fixture

@@ -23,7 +23,7 @@ from repro.apps.regression import cofactor_query
 from repro.bench import format_table, run_stream
 from repro.core import FIVMEngine, Query
 from repro.datasets import housing, retailer, round_robin_stream
-from repro.datasets.matrices import random_matrix, row_update
+from repro.datasets.matrices import random_matrix, rank_r_update, row_update
 from repro.rings import INT_RING
 
 from benchmarks.conftest import SCALE, report
@@ -59,7 +59,14 @@ def test_ablation_chain_collapsing(benchmark):
         ["collapsing", "views in tree", "tuples/sec", "peak memory"],
         rows,
     )
-    report("ablation_chain_collapsing", table)
+    report(
+        "ablation_chain_collapsing",
+        table,
+        data={
+            "headers": ["collapsing", "views", "throughput", "peak_memory"],
+            "rows": rows,
+        },
+    )
     views_on, views_off = rows[0][1], rows[1][1]
     assert views_on == 9
     assert views_off > 3 * views_on  # one view per variable without it
@@ -113,6 +120,11 @@ def test_ablation_group_aware_joins(benchmark):
     report(
         "ablation_group_aware",
         table + f"\nspeedup from group-aware probes: {speedup:.2f}x",
+        data={
+            "headers": ["group_aware", "throughput"],
+            "rows": [row[:2] for row in rows],
+            "speedup": speedup,
+        },
     )
     assert rows[0][2] > rows[1][2]
 
@@ -151,10 +163,20 @@ def test_ablation_matrix_chain_order(benchmark):
         ["order", "sec per rank-1 update"],
         rows,
     )
-    report("ablation_matrix_chain_order", table)
+    report(
+        "ablation_matrix_chain_order",
+        table,
+        data={"headers": ["order", "sec_per_update"], "rows": rows},
+    )
 
 
 def test_ablation_factorized_vs_listing_updates(benchmark):
+    """A *dense* rank-1 delta ``u vᵀ`` (Section 5 / Example 5.1): the listing
+    trigger must materialize and propagate all n² changed entries, while the
+    factorized path keeps the two n-vectors apart and marginalizes them
+    through the tree (fused join+marginalize), touching O(n) keys per
+    sibling.  (A one-hot row update would have only n non-zero entries and
+    level the comparison — density is what factorization pays off on.)"""
     rng = np.random.default_rng(33)
     n = int(48 * SCALE)
     mats = [random_matrix(n, n, rng) for _ in range(3)]
@@ -162,7 +184,7 @@ def test_ablation_factorized_vs_listing_updates(benchmark):
     def experiment():
         factored = MatrixChainIVM(mats, updatable=["A2"])
         listing = MatrixChainIVM(mats, updatable=["A2"])
-        u, v = row_update(n, 1, rng)
+        u, v = rank_r_update(n, 1, rng)[0]
 
         start = time.perf_counter()
         for _ in range(3):
@@ -187,5 +209,10 @@ def test_ablation_factorized_vs_listing_updates(benchmark):
     report(
         "ablation_factorized_updates",
         table + f"\nfactorized speedup: {speedup:.1f}x",
+        data={
+            "headers": ["update_form", "sec_per_update"],
+            "rows": rows,
+            "speedup": speedup,
+        },
     )
     assert rows[0][1] < rows[1][1]

@@ -19,7 +19,7 @@ from repro.core import FIVMEngine, Query
 from repro.datasets import housing, retailer, round_robin_stream
 from repro.rings import Lifting, RealRing
 
-from benchmarks.conftest import SCALE, TIME_BUDGET, report
+from benchmarks.conftest import SCALE, TIME_BUDGET, report, stream_results_data
 
 
 def _sum_query(name, schemas, summed_variable):
@@ -96,7 +96,14 @@ def test_fig11_sum_throughput(benchmark):
         ["dataset"] + strategies,
         rows,
     )
-    report("fig11_sum_aggregate", table)
+    report(
+        "fig11_sum_aggregate",
+        table,
+        data={
+            dataset: stream_results_data(results.values())
+            for dataset, results in outcomes.items()
+        },
+    )
 
     for dataset, results in outcomes.items():
         fivm = results["F-IVM"].average_throughput

@@ -121,7 +121,14 @@ def test_fig6_left_row_updates(benchmark):
         ["runtime", "strategy", "n", "sec/update"],
         rows,
     )
-    report("fig6_left_row_updates", table)
+    report(
+        "fig6_left_row_updates",
+        table,
+        data={
+            "headers": ["runtime", "strategy", "n", "sec_per_update"],
+            "rows": rows,
+        },
+    )
 
     def sec(runtime, strategy, n):
         return next(r[3] for r in rows if r[:3] == [runtime, strategy, n])
@@ -167,6 +174,11 @@ def test_fig6_right_rank_r_updates(benchmark):
         "fig6_right_rank_r",
         table + f"\nincremental beats re-evaluation up to rank ≈ "
         f"{crossover if crossover else f'>{ranks[-1]}'}",
+        data={
+            "headers": ["rank", "fivm_sec", "reeval_sec"],
+            "rows": rows,
+            "crossover_rank": crossover,
+        },
     )
 
     # F-IVM cost grows with rank; it wins at rank 1 by a wide margin.

@@ -22,7 +22,7 @@ from repro.core import Query
 from repro.datasets import housing, round_robin_stream
 from repro.rings import RealRing
 
-from benchmarks.conftest import SCALE, TIME_BUDGET, report
+from benchmarks.conftest import SCALE, TIME_BUDGET, report, stream_results_data
 from benchmarks.test_fig7_cofactor_retailer import scalar_aggregates
 
 
@@ -96,7 +96,9 @@ def test_fig7_housing_cofactor(benchmark):
         ["strategy", "tuples/sec", "stream fraction", "peak logical memory"],
         rows,
     )
-    report("fig7_housing_cofactor", table)
+    report(
+        "fig7_housing_cofactor", table, data=stream_results_data(results)
+    )
 
     assert by_name["F-IVM"].average_throughput > 5 * by_name["DBT"].average_throughput
     assert by_name["F-IVM"].average_throughput > 5 * by_name["1-IVM"].average_throughput

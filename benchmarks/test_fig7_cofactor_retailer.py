@@ -27,7 +27,7 @@ from repro.bench import format_table, run_stream
 from repro.datasets import retailer, round_robin_stream
 from repro.rings import Lifting, RealRing
 
-from benchmarks.conftest import SCALE, TIME_BUDGET, report
+from benchmarks.conftest import SCALE, TIME_BUDGET, report, stream_results_data
 
 
 def scalar_aggregates(variables, limit=None):
@@ -148,7 +148,11 @@ def test_fig7_retailer_cofactor(benchmark):
             zip(r.fractions, r.throughput, r.memory)
         )
         series.append(f"  {r.name}: {points}")
-    report("fig7_retailer_cofactor", table + "\n" + "\n".join(series))
+    report(
+        "fig7_retailer_cofactor",
+        table + "\n" + "\n".join(series),
+        data=stream_results_data(results),
+    )
 
     # Shape assertions (the paper's qualitative claims).
     assert by_name["F-IVM"].average_throughput > by_name["DBT-RING"].average_throughput

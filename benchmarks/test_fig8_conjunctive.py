@@ -17,7 +17,7 @@ from repro.apps import ConjunctiveQuery
 from repro.bench import format_table, run_stream
 from repro.datasets import housing, retailer, round_robin_stream
 
-from benchmarks.conftest import SCALE, TIME_BUDGET, report
+from benchmarks.conftest import SCALE, TIME_BUDGET, report, stream_results_data
 
 MODES = ("factorized", "listing_payloads", "listing_keys")
 LABELS = {
@@ -75,7 +75,9 @@ def test_fig8_left_retailer(benchmark):
         ["representation", "tuples/sec", "peak logical memory", "fraction"],
         rows,
     )
-    report("fig8_left_retailer", table)
+    report(
+        "fig8_left_retailer", table, data=stream_results_data(results)
+    )
 
     fact = by_name["Fact payloads"]
     assert fact.peak_memory < by_name["List payloads"].peak_memory
@@ -126,6 +128,11 @@ def test_fig8_right_housing_scales(benchmark):
         "fig8_right_housing_scales",
         table + f"\nlisting/factorized memory gap grows {gap_first:.1f}x -> "
         f"{gap_last:.1f}x across scales",
+        data={
+            "headers": ["scale", "fact_time", "fact_mem", "listpay_time",
+                        "listpay_mem", "listkey_time", "listkey_mem"],
+            "rows": rows,
+        },
     )
 
     # Factorized memory grows ~linearly; listing grows ~cubically: the gap

@@ -62,7 +62,15 @@ def test_view_counts(benchmark):
         ["dataset", "F-IVM", "SQL-OPT", "DBT-RING", "DBT (scalar)", "aggregates"],
         rows,
     )
-    report("view_counts", table)
+    report(
+        "view_counts",
+        table,
+        data={
+            "headers": ["dataset", "fivm", "sql_opt", "dbt_ring",
+                        "dbt_scalar", "aggregates"],
+            "rows": rows,
+        },
+    )
 
     by_dataset = {row[0]: row for row in rows}
     assert by_dataset["Retailer"][1] == 9

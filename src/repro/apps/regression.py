@@ -117,6 +117,7 @@ class CofactorModel:
         updatable: Optional[Iterable[str]] = None,
         tree: Optional[ViewTree] = None,
         db: Optional[Database] = None,
+        compiled: bool = True,
     ):
         self.query = cofactor_query(name, relations, numeric_variables, free)
         self.numeric_variables = tuple(numeric_variables)
@@ -124,7 +125,8 @@ class CofactorModel:
             v: i for i, v in enumerate(self.numeric_variables)
         }
         self.engine = FIVMEngine(
-            self.query, order=order, updatable=updatable, tree=tree, db=db
+            self.query, order=order, updatable=updatable, tree=tree, db=db,
+            compiled=compiled,
         )
 
     # ------------------------------------------------------------------

@@ -50,14 +50,24 @@ def run_stream(
     checkpoints: int = 10,
     time_budget: Optional[float] = None,
     apply: Optional[Callable] = None,
+    group: int = 1,
 ) -> StreamRunResult:
     """Drive ``strategy`` through the stream, sampling at checkpoints.
 
     ``apply`` overrides how a delta is fed to the strategy (default:
     ``strategy.apply_update(delta)``).  Timing covers only the apply calls;
     delta construction and memory accounting are outside the clock.
+
+    ``group`` > 1 exercises the batched multi-relation trigger: ``group``
+    consecutive deltas are handed to ``apply`` as one list (default:
+    ``strategy.apply_batch(deltas)``), so per-relation coalescing and
+    single-pass path propagation are on the clock while the stream, its
+    checkpoints, and the tuple accounting stay identical.
     """
-    apply = apply or (lambda delta: strategy.apply_update(delta))
+    if group > 1:
+        apply = apply or (lambda deltas: strategy.apply_batch(deltas))
+    else:
+        apply = apply or (lambda delta: strategy.apply_update(delta))
     result = StreamRunResult(name=name)
     total_batches = len(stream.batches)
     if total_batches == 0:
@@ -69,12 +79,32 @@ def run_stream(
     elapsed = 0.0
     tuples_done = 0
     total_tuples = max(1, stream.total_tuples)
+    pending: List = []
+    pending_tuples = 0
     for index, delta in enumerate(stream.deltas(ring)):
         batch_tuples = len(stream.batches[index])
-        start = time.perf_counter()
-        apply(delta)
-        elapsed += time.perf_counter() - start
-        tuples_done += batch_tuples
+        if group > 1:
+            pending.append(delta)
+            pending_tuples += batch_tuples
+            # Flush on a full group, at checkpoints (so measurements line
+            # up across group sizes), and at the end of the stream.
+            if (
+                len(pending) < group
+                and index not in marks
+                and index != total_batches - 1
+            ):
+                continue
+            start = time.perf_counter()
+            apply(pending)
+            elapsed += time.perf_counter() - start
+            tuples_done += pending_tuples
+            pending = []
+            pending_tuples = 0
+        else:
+            start = time.perf_counter()
+            apply(delta)
+            elapsed += time.perf_counter() - start
+            tuples_done += batch_tuples
         if index in marks:
             result.fractions.append(tuples_done / total_tuples)
             result.throughput.append(

@@ -1,0 +1,100 @@
+"""Micro-bench smoke check: the compiled trigger path must not regress.
+
+Runs a tiny retailer cofactor stream through the slot-compiled engine, the
+``compiled=False`` interpreter, and the batched ``apply_batch`` trigger,
+then asserts the compiled path is not slower than ``MIN_RATIO`` × the
+interpreter.  Designed for CI: small enough to finish in seconds, loud
+enough to catch a compiled-path performance regression.  Prints a JSON
+report so the numbers are machine-readable.
+
+Run as ``PYTHONPATH=src python -m repro.bench.smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.apps.regression import CofactorModel
+from repro.bench.harness import run_stream
+from repro.datasets import retailer
+from repro.datasets.streams import round_robin_stream
+
+__all__ = ["run_smoke", "main"]
+
+#: Compiled must reach at least this fraction of interpreter throughput.
+MIN_RATIO = 0.8
+
+
+def _model(workload, compiled: bool = True) -> CofactorModel:
+    return CofactorModel(
+        "smoke",
+        workload.schemas,
+        workload.numeric_variables,
+        order=workload.variable_order,
+        compiled=compiled,
+    )
+
+
+def run_smoke(scale: float = 0.08, batch_size: int = 10, repeats: int = 3) -> dict:
+    """Measure compiled / interpreter / batched throughput on a tiny stream.
+
+    Takes the best of ``repeats`` runs per strategy to damp scheduler noise;
+    the streams are identical, so results are directly comparable.
+    """
+    workload = retailer.generate(scale=scale, seed=7)
+    stream = round_robin_stream(
+        workload.schemas, workload.tables, batch_size=batch_size
+    )
+    best = {"compiled": 0.0, "interpreter": 0.0, "batched": 0.0}
+    for _ in range(repeats):
+        compiled = _model(workload)
+        result = run_stream(
+            "compiled", compiled.engine, stream, compiled.query.ring,
+            checkpoints=2,
+        )
+        best["compiled"] = max(best["compiled"], result.average_throughput)
+
+        interp = _model(workload, compiled=False)
+        result = run_stream(
+            "interpreter", interp.engine, stream, interp.query.ring,
+            checkpoints=2,
+        )
+        best["interpreter"] = max(
+            best["interpreter"], result.average_throughput
+        )
+
+        batched = _model(workload)
+        result = run_stream(
+            "batched", batched.engine, stream, batched.query.ring,
+            checkpoints=2, group=20,
+        )
+        best["batched"] = max(best["batched"], result.average_throughput)
+    ratio = (
+        best["compiled"] / best["interpreter"]
+        if best["interpreter"] > 0 else float("inf")
+    )
+    return {
+        "tuples": stream.total_tuples,
+        "throughput": {name: round(value) for name, value in best.items()},
+        "compiled_over_interpreter": round(ratio, 3),
+        "min_ratio": MIN_RATIO,
+        "ok": ratio >= MIN_RATIO,
+    }
+
+
+def main() -> int:
+    report = run_smoke()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["ok"]:
+        print(
+            f"FAIL: compiled path at {report['compiled_over_interpreter']}x "
+            f"interpreter (minimum {MIN_RATIO}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

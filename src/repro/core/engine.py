@@ -9,10 +9,43 @@ Ties the pieces together (Sections 3–5 of the paper):
   operational form of the delta trees of Figure 4 — so a single-tuple update
   costs time proportional to the matched keys, not to view sizes,
 * executes update triggers: list-form deltas via :meth:`apply_update`,
-  factorizable (rank-1/rank-r) deltas via :meth:`apply_factorized_update`
+  batched multi-relation deltas via :meth:`apply_batch`, factorizable
+  (rank-1/rank-r) deltas via :meth:`apply_factorized_update`
   with marginalization pushed past joins (the ``Optimize`` step, Section 5),
 * maintains indicator projections for cyclic queries (Appendix B), with
   changes propagated along their own leaf-to-root paths in sequence.
+
+Plan compilation pipeline
+-------------------------
+
+Delta propagation runs in three stages, all fixed at construction time:
+
+1. **plan** — :meth:`_compile_plans` builds, per ``(node, source)`` entry
+   point, a greedy left-deep probe order over the node's stored siblings
+   and indicators (a list of :class:`_PlanStep`), marks group-aware steps,
+   and registers the secondary indexes the probes need;
+2. **slot program** — each plan is handed to
+   :func:`repro.core.plan_exec.compile_slot_program`, which assigns every
+   live attribute a fixed register, resolves probes to the target
+   relations' primary/index dictionaries, and emits a specialized Python
+   trigger function (zero dict allocation per delta tuple);
+3. **executor** — :meth:`_delta_at_node` dispatches to the compiled
+   trigger; ``FIVMEngine(compiled=False)`` falls back to
+   :meth:`_delta_at_node_interpreted`, the dict-binding interpreter kept
+   as the executable reference semantics (the differential tests hold the
+   two equal key-for-key on every ring).
+
+Batched-trigger contract
+------------------------
+
+:meth:`apply_batch` takes any iterable of per-relation deltas (in arrival
+order), coalesces them into **one merged delta per relation**, absorbs each
+stored base once, and propagates one merged delta per leaf-to-root path.
+Because single-relation propagation is linear in the delta and the final
+view state is a function of the final database only, the maintained views
+and the returned total root delta equal those of applying the deltas one by
+one — while paths and indexes are touched once per relation instead of once
+per delta (the paper's Figure 12 batching effect).
 """
 
 from __future__ import annotations
@@ -21,12 +54,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.factorized_update import FactorizedUpdate
 from repro.core.materialization import delta_sources, materialization_flags
+from repro.core.plan_exec import SlotProgram, compile_slot_program
 from repro.core.query import Query
 from repro.core.variable_order import VariableOrder
 from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
 from repro.data.database import Database
 from repro.data.indicator import IndicatorView
 from repro.data.relation import Relation
+from repro.data.schema import merge_schemas
 
 __all__ = ["FIVMEngine"]
 
@@ -88,8 +123,13 @@ class FIVMEngine:
         collapse_chains: bool = True,
         materialize: str = "auto",
         group_aware: bool = True,
+        compiled: bool = True,
     ):
         self.query = query
+        #: Whether delta plans are executed as compiled slot programs
+        #: (:mod:`repro.core.plan_exec`).  ``False`` keeps the dict-binding
+        #: interpreter — the reference semantics used by differential tests.
+        self.compiled = compiled
         #: Whether probes may read per-bucket payload sums (group-aware
         #: joins).  On by default; exposed for ablation benchmarks.
         self.group_aware = group_aware
@@ -129,12 +169,21 @@ class FIVMEngine:
                     )
                     for spec in node.indicators
                 ]
+        # Indicator hosts per observed base relation, precomputed so the
+        # update trigger does not rescan the tree on every delta.
+        self._indicator_hosts: Dict[str, List[Tuple[ViewNode, int, IndicatorView]]] = {}
+        for node in self.tree.nodes:
+            for i, iv in enumerate(self._indicators_at(node)):
+                self._indicator_hosts.setdefault(iv.base_name, []).append(
+                    (node, i, iv)
+                )
         self._child_pos: Dict[str, Dict[str, int]] = {
             node.name: {c.name: i for i, c in enumerate(node.children)}
             for node in self.tree.nodes
             if not node.is_leaf
         }
         self._plans: Dict[Tuple[str, Source], List[_PlanStep]] = {}
+        self._programs: Dict[Tuple[str, Source], SlotProgram] = {}
         self._compile_plans()
         if db is not None:
             self.initialize(db)
@@ -170,6 +219,17 @@ class FIVMEngine:
                 self._plans[(node.name, ("ind", i))] = self._plan(
                     node, ("ind", i)
                 )
+        if not self.compiled:
+            return
+        # Second pass, after every plan has registered its indexes: lower
+        # each plan to a slot program (plan → slot program → executor).
+        by_name = {node.name: node for node in self.tree.nodes}
+        for (node_name, source), plan in self._plans.items():
+            node = by_name[node_name]
+            targets = [self._plan_target_relation(node, step) for step in plan]
+            self._programs[(node_name, source)] = compile_slot_program(
+                node, source, plan, targets, self.query
+            )
 
     def _plan(self, node: ViewNode, source: Source) -> List[_PlanStep]:
         kind, idx = source
@@ -316,15 +376,13 @@ class FIVMEngine:
 
         # 1. Compute indicator deltas against the pre-update base state.
         ind_tasks: List[Tuple[ViewNode, int, IndicatorView, Relation]] = []
-        for node in self.tree.nodes:
-            for i, iv in enumerate(self._indicators_at(node)):
-                if iv.base_name == rel:
-                    base = self.views.get(self.tree.leaves[rel].name)
-                    if base is None:
-                        raise RuntimeError(
-                            f"indicator over {rel} needs its base stored"
-                        )
-                    ind_tasks.append((node, i, iv, iv.compute_delta(delta, base)))
+        for node, i, iv in self._indicator_hosts.get(rel, ()):
+            base = self.views.get(self.tree.leaves[rel].name)
+            if base is None:
+                raise RuntimeError(
+                    f"indicator over {rel} needs its base stored"
+                )
+            ind_tasks.append((node, i, iv, iv.compute_delta(delta, base)))
 
         # 2. Absorb the delta into the stored base copy (if stored).
         stored_base = self.views.get(leaf.name)
@@ -342,6 +400,43 @@ class FIVMEngine:
                 root_delta = root_delta.union(contribution, name=root.name)
             iv.commit(ind_delta)
         return root_delta
+
+    def apply_batch(self, deltas: Iterable[Relation]) -> Relation:
+        """Apply a sequence of per-relation deltas as one batched trigger.
+
+        Coalesces the deltas into one merged delta per relation (tuples that
+        cancel across the batch vanish before propagation), absorbs each
+        stored base once, and propagates one merged delta per leaf-to-root
+        path — relations fire in first-appearance order.  Returns the total
+        root delta; the maintained state and the returned total equal those
+        of :meth:`apply_update` applied delta by delta (see the module
+        docstring for why coalescing is sound).
+        """
+        merged: Dict[str, Relation] = {}
+        order: List[str] = []
+        for delta in deltas:
+            rel = delta.name
+            if rel not in self.updatable:
+                raise KeyError(f"relation {rel!r} is not updatable")
+            if delta.schema != self.tree.leaves[rel].keys:
+                raise ValueError(
+                    f"delta schema {delta.schema} != "
+                    f"{self.tree.leaves[rel].keys} of {rel}"
+                )
+            accumulated = merged.get(rel)
+            if accumulated is None:
+                merged[rel] = delta.copy()
+                order.append(rel)
+            else:
+                accumulated.absorb_bulk(delta)
+        root = self.tree.root
+        total = Relation(root.name, root.keys, self.query.ring)
+        for rel in order:
+            coalesced = merged[rel]
+            if coalesced.is_empty:
+                continue
+            total = total.union(self.apply_update(coalesced), name=root.name)
+        return total
 
     def _propagate(self, start_child: ViewNode, delta: Relation) -> Relation:
         prev, node = start_child, start_child.parent
@@ -373,8 +468,20 @@ class FIVMEngine:
     def _delta_at_node(
         self, node: ViewNode, source: Source, delta: Relation
     ) -> Relation:
+        """Evaluate the node's delta view for a delta entering at ``source``,
+        through the compiled slot program when available."""
+        program = self._programs.get((node.name, source))
+        if program is not None:
+            return program.run(delta)
+        return self._delta_at_node_interpreted(node, source, delta)
+
+    def _delta_at_node_interpreted(
+        self, node: ViewNode, source: Source, delta: Relation
+    ) -> Relation:
         """Evaluate the node's delta view for a delta entering at ``source``.
 
+        The dict-binding interpreter: the reference semantics the slot
+        programs are compiled from (and differentially tested against).
         Implements the delta rules of Figure 4 operationally: the delta's
         bindings are extended by probing each materialized sibling (and
         indicator) through its index, payloads are multiplied in child order
@@ -525,19 +632,41 @@ class FIVMEngine:
         flat: Optional[Relation] = None
         while node is not None:
             # Join in each materialized sibling (and indicator) by merging it
-            # with the factors it shares attributes with.
-            for child in node.children:
-                if child is prev:
-                    continue
-                factors = _merge_factor(factors, self.views[child.name])
-            for iv in self._indicators_at(node):
-                factors = _merge_factor(factors, iv.relation)
-            # Push each marginalization into the factor holding the variable.
+            # with the factors it shares attributes with.  A marginalized
+            # variable whose coverage completes inside a merge is summed out
+            # *during* the final join of that merge (``join_project``), so
+            # the wide intermediate is never materialized — legal because
+            # factorized updates already require a commutative ring.
+            siblings = [
+                self.views[child.name]
+                for child in node.children
+                if child is not prev
+            ]
+            siblings += [iv.relation for iv in self._indicators_at(node)]
+            droppable = set(node.marginalized) - set(node.keys)
+            lift_table = lifting.table()
+            fused_away: set = set()
+            for index, sibling in enumerate(siblings):
+                pending_attrs = set()
+                for later in siblings[index + 1:]:
+                    pending_attrs |= set(later.schema)
+                factors, dropped = _merge_factor(
+                    factors,
+                    sibling,
+                    droppable - pending_attrs,
+                    lift_table,
+                )
+                fused_away |= dropped
+            # Push each remaining marginalization into the factor holding
+            # the variable; only variables a fused merge provably dropped
+            # may be skipped (absence alone would mask planner bugs).
             for var in node.marginalized:
+                if var in fused_away:
+                    continue
                 for i, factor in enumerate(factors):
                     if var in factor.schema:
                         factors[i] = factor.marginalize(
-                            [var], lifting.table()
+                            [var], lift_table
                         )
                         break
                 else:
@@ -555,15 +684,38 @@ class FIVMEngine:
         return flat
 
 
-def _merge_factor(factors: List[Relation], sibling: Relation) -> List[Relation]:
-    """Join ``sibling`` into the factor list, combining shared-attr factors."""
+def _merge_factor(
+    factors: List[Relation],
+    sibling: Relation,
+    droppable: frozenset = frozenset(),
+    lifting=None,
+) -> Tuple[List[Relation], set]:
+    """Join ``sibling`` into the factor list, combining shared-attr factors.
+
+    Variables in ``droppable`` that live only inside the combined chain (in
+    no other factor) are marginalized during its final join via
+    :meth:`Relation.join_project`, so the unreduced join never exists.
+    Returns the new factor list and the set of variables dropped this way.
+    """
     sibling_attrs = set(sibling.schema)
     sharing = [f for f in factors if sibling_attrs & set(f.schema)]
     rest = [f for f in factors if not (sibling_attrs & set(f.schema))]
     combined = sibling
-    for factor in sharing:
-        combined = combined.join(factor)
-    return rest + [combined]
+    drop: Tuple[str, ...] = ()
+    if sharing:
+        rest_attrs = {a for f in rest for a in f.schema}
+        for factor in sharing[:-1]:
+            combined = combined.join(factor)
+        last = sharing[-1]
+        # Deterministic drop (and thus lift-application) order: follow the
+        # merged join schema, not set-iteration order.
+        drop = tuple(
+            v
+            for v in merge_schemas(combined.schema, last.schema)
+            if v in droppable and v not in rest_attrs
+        )
+        combined = combined.join_project(last, drop, lifting)
+    return rest + [combined], set(drop)
 
 
 def _flatten_factors(

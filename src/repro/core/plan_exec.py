@@ -1,0 +1,270 @@
+"""Slot-compiled delta programs: update triggers as generated code.
+
+The engine's interpreter (:meth:`FIVMEngine._delta_at_node_interpreted`)
+carries Python ``dict`` bindings from probe to probe, allocating a fresh
+dict per delta tuple and copying it on every match.  This module compiles
+each ``(node, source)`` delta-join plan **once**, at engine-construction
+time, into a *slot program* — a specialized Python trigger in the style of
+DBToaster's generated code:
+
+* every attribute reachable in the plan gets a fixed slot, realized as a
+  local register ``r<i>`` of the generated function (dead attributes — never
+  probed, never lifted, never in the output keys — get no register at all);
+* each probe becomes a direct dictionary ``get`` against the target
+  relation's primary map or the bucket/sum dicts of its registered
+  secondary index (no method dispatch, no projector call: the probe subkey
+  is built from registers with a tuple display);
+* group-aware (pre-aggregated) probes read the index's per-bucket ring sum;
+  a bucket-sum probe with *no* shared attributes is loop-invariant and is
+  hoisted out of the delta loop entirely;
+* payload multiplication is unrolled in child order — followed by indicator
+  counts, the indicator sign, and the lifting functions in marginalization
+  order — exactly matching the interpreter, so non-commutative rings
+  (matrix payloads) see the same product order;
+* the output accumulates into a plain dict with the ring's ``add`` bound to
+  a global of the generated function; zero payloads are dropped in one
+  sweep at the end instead of being tested per accumulation.
+
+Binding the index dictionaries at compile time is sound because the engine
+creates all view/indicator relations before compiling and ``Relation``
+mutates its primary map and index dicts strictly in place (``clear`` empties
+them, it never replaces them).
+
+The interpreter remains available via ``FIVMEngine(compiled=False)`` as the
+executable reference semantics; the differential tests in
+``tests/core/test_slot_programs.py`` hold the two (and full recomputation)
+key-for-key equal across rings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.relation import Relation
+
+__all__ = ["SlotProgram", "compile_slot_program"]
+
+
+class SlotProgram:
+    """A compiled delta trigger for one ``(node, source)`` plan."""
+
+    __slots__ = ("node_name", "out_schema", "ring", "_fn", "source_text")
+
+    def __init__(self, node_name, out_schema, ring, fn, source_text):
+        self.node_name = node_name
+        self.out_schema = out_schema
+        self.ring = ring
+        self._fn = fn
+        #: The generated Python source (for debugging and the test suite).
+        self.source_text = source_text
+
+    def run(self, delta: Relation) -> Relation:
+        """Evaluate the node's delta view for ``delta`` entering at the
+        compiled source; returns a fresh relation over the node's keys.
+
+        The trigger collects per-key contribution lists; they are summed
+        here in one ``ring.sum`` per key and zero totals dropped in a final
+        sweep (the interpreter's eager per-``add`` zero test, deferred).
+        """
+        out = Relation(self.node_name, self.out_schema, self.ring)
+        data = out._data
+        self._fn(delta._data.items(), data)
+        if data:
+            ring = self.ring
+            rsum = ring.sum
+            is_zero = ring.is_zero
+            dead = []
+            for key, values in data.items():
+                total = values[0] if len(values) == 1 else rsum(values)
+                if is_zero(total):
+                    dead.append(key)
+                else:
+                    data[key] = total
+            for key in dead:
+                del data[key]
+        return out
+
+
+def _tuple_display(registers: Sequence[str]) -> str:
+    """Source text for a tuple built from registers (incl. 0/1-ary forms)."""
+    if not registers:
+        return "()"
+    if len(registers) == 1:
+        return f"({registers[0]},)"
+    return "(" + ", ".join(registers) + ")"
+
+
+def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
+    """Compile one delta-join plan into a :class:`SlotProgram`.
+
+    ``plan`` is the engine's list of ``_PlanStep``; ``targets`` the stored
+    relation each step probes, aligned with ``plan``.  Secondary indexes the
+    steps need must already be registered (the engine registers them while
+    planning, before compiling).
+    """
+    kind, idx = source
+    if kind == "child":
+        source_attrs = node.children[idx].keys
+    else:
+        source_attrs = node.indicators[idx].attrs
+    ring = query.ring
+    lift_entries = [
+        (var, query.lifting.get(var)) for var in node.marginalized
+    ]
+    out_attrs = node.keys
+
+    # Attribute liveness: needed_after[i] = attrs read after step i's probe
+    # (later probes, output keys, lifted variables).  Extends outside this
+    # set never get a register — the compiled analogue of the interpreter
+    # simply not copying dead binding entries.
+    live = {var for var, lift in lift_entries if lift is not None}
+    live |= set(out_attrs)
+    needed_after: List[set] = [set()] * len(plan)
+    for i in range(len(plan) - 1, -1, -1):
+        needed_after[i] = set(live)
+        live |= set(plan[i].probe_attrs)
+    source_needed = live  # probes of all steps + output keys + lifts
+
+    registers: Dict[str, str] = {}
+
+    def reg(attr: str) -> str:
+        name = registers.get(attr)
+        if name is None:
+            name = f"r{len(registers)}"
+            registers[attr] = name
+        return name
+
+    env = {
+        "_mul": ring.mul,
+        "_add": ring.add,
+        "_one": ring.one,
+        "_iszero": ring.is_zero,
+        "_rsum": ring.sum,
+    }
+    lines: List[str] = ["def _trigger(_items, _out):"]
+
+    def emit(depth: int, text: str) -> None:
+        lines.append("    " * depth + text)
+
+    # Hoist loop-invariant group-aware probes (no shared attributes): the
+    # whole sibling collapses to one ring sum, computed once per trigger.
+    for i, step in enumerate(plan):
+        env[f"_data{i}"] = targets[i]._data
+        if step.aggregated and not step.probe_attrs:
+            emit(1, f"_t{i} = _rsum(_data{i}.values())")
+            emit(1, f"if _iszero(_t{i}):")
+            emit(2, "return")
+
+    emit(1, "for _key, _psrc in _items:")
+    depth = 2
+    for position, attr in enumerate(source_attrs):
+        if attr in source_needed:
+            emit(depth, f"{reg(attr)} = _key[{position}]")
+
+    pay_var_by_child: Dict[int, str] = {}
+    ind_sum_vars: List[str] = []
+    if kind == "child":
+        pay_var_by_child[idx] = "_psrc"
+
+    for i, step in enumerate(plan):
+        target = targets[i]
+        schema = target.schema
+        probe = step.probe_attrs
+        if probe and probe != schema:
+            projector, buckets, sums = target._indexes[probe]
+            env[f"_bkt{i}"] = buckets
+            env[f"_sum{i}"] = sums
+        probe_key = _tuple_display([registers[a] for a in probe])
+        if step.aggregated:
+            if not probe:
+                pay = f"_t{i}"  # hoisted above the delta loop
+            elif probe == schema:
+                # Full-key probe: the stored payload *is* the bucket sum
+                # (primary-map entries are never zero).
+                emit(depth, f"_t{i} = _data{i}.get({probe_key})")
+                emit(depth, f"if _t{i} is not None:")
+                depth += 1
+                pay = f"_t{i}"
+            else:
+                # Bucket sums may hold cancelled zeros; test them.
+                emit(depth, f"_t{i} = _sum{i}.get({probe_key})")
+                emit(depth, f"if _t{i} is not None and not _iszero(_t{i}):")
+                depth += 1
+                pay = f"_t{i}"
+            if step.kind == "child":
+                pay_var_by_child[step.index] = pay
+            else:
+                ind_sum_vars.append(pay)
+        else:
+            if probe == schema:
+                emit(depth, f"_p{i} = _data{i}.get({probe_key})")
+                emit(depth, f"if _p{i} is not None:")
+                depth += 1
+            elif not probe:
+                emit(depth, f"for _k{i}, _p{i} in _data{i}.items():")
+                depth += 1
+            else:
+                emit(depth, f"_b{i} = _bkt{i}.get({probe_key})")
+                emit(depth, f"if _b{i}:")
+                depth += 1
+                emit(depth, f"for _k{i}, _p{i} in _b{i}.items():")
+                depth += 1
+            for attr in step.extend_attrs:
+                if attr in needed_after[i]:
+                    emit(depth, f"{reg(attr)} = _k{i}[{schema.index(attr)}]")
+            if step.kind == "child":
+                pay_var_by_child[step.index] = f"_p{i}"
+            # Indicator listing probes are pure filters: payload 1 each.
+
+    # Innermost body: the payload product in the interpreter's exact order —
+    # children by child index, then aggregated indicator counts, then the
+    # indicator sign (central), then lifts in marginalization order.  The
+    # lift factors are folded together *first* and multiplied onto the
+    # payload once: by associativity ``(v·l₁)·l₂ = v·(l₁·l₂)`` (order
+    # preserved, so non-commutative rings are safe), and the intermediate
+    # lift products stay small while the accumulated payload is the big one.
+    factors = [pay_var_by_child[c] for c in sorted(pay_var_by_child)]
+    factors += ind_sum_vars
+    if kind == "ind":
+        factors.append("_psrc")
+    lift_terms = []
+    for j, (var, lift) in enumerate(lift_entries):
+        if lift is None:
+            continue
+        env[f"_lift{j}"] = lift
+        lift_terms.append(f"_lift{j}({registers[var]})")
+    if lift_terms:
+        emit(depth, f"_lv = {lift_terms[0]}")
+        for term in lift_terms[1:]:
+            emit(depth, f"_lv = _mul(_lv, {term})")
+        factors.append("_lv")
+    if not factors:
+        emit(depth, "_v = _one")
+    else:
+        emit(depth, f"_v = {factors[0]}")
+        for factor in factors[1:]:
+            emit(depth, f"_v = _mul(_v, {factor})")
+    missing = [a for a in out_attrs if a not in registers]
+    if missing:  # pragma: no cover - the planner always binds output keys
+        raise RuntimeError(
+            f"slot program for {node.name}: output keys {missing} unbound"
+        )
+    # Accumulation is deferred: contributions are collected per output key
+    # and summed once in :meth:`SlotProgram.run` via ``ring.sum`` — rings
+    # with a vectorized sum (the cofactor ring stacks blocks) fold a whole
+    # batch in a few array operations instead of pairwise allocations.
+    # (Ring addition is commutative by the ring axioms, so the regrouping
+    # is sound on every ring, including non-commutative-multiplication ones.)
+    emit(depth, f"_ok = {_tuple_display([registers[a] for a in out_attrs])}")
+    emit(depth, "_cur = _out.get(_ok)")
+    emit(depth, "if _cur is None:")
+    emit(depth + 1, "_out[_ok] = [_v]")
+    emit(depth, "else:")
+    emit(depth + 1, "_cur.append(_v)")
+
+    source_text = "\n".join(lines) + "\n"
+    code = compile(
+        source_text, f"<slot-program {node.name}:{kind}{idx}>", "exec"
+    )
+    exec(code, env)
+    return SlotProgram(node.name, out_attrs, ring, env["_trigger"], source_text)

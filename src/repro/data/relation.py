@@ -102,7 +102,13 @@ class Relation:
         return Relation(name, schema, self.ring)
 
     def copy(self, name: Optional[str] = None) -> "Relation":
-        """A shallow copy (payloads are shared; they are treated immutably)."""
+        """A shallow copy (payloads are shared; they are treated immutably).
+
+        Registered secondary indexes are *not* copied: the copy starts
+        index-free, and callers that probe it must :meth:`register_index`
+        what they need (the engine registers indexes per stored view, and
+        copies are used as transient deltas that are only scanned).
+        """
         out = Relation(name or self.name, self.schema, self.ring)
         out._data = dict(self._data)
         return out
@@ -126,11 +132,14 @@ class Relation:
 
         This is the single mutation primitive; maintenance (``V := V ⊎ δV``)
         and bulk loading are built on it.  Registered secondary indexes are
-        kept in sync.
+        kept in sync.  The key is coerced to a tuple so list/other-sequence
+        keys land on the same entry that :meth:`payload` and
+        ``__contains__`` (which coerce too) will find.
         """
         ring = self.ring
         if ring.is_zero(payload):
             return
+        key = tuple(key)
         data = self._data
         current = data.get(key)
         if current is None:
@@ -243,12 +252,82 @@ class Relation:
 
     def absorb(self, delta: "Relation") -> None:
         """In-place union: ``self := self ⊎ delta`` (schemas must agree)."""
+        self.absorb_bulk(delta)
+
+    def absorb_bulk(self, delta: "Relation") -> None:
+        """Bulk in-place union: single-pass dict merge + one index sweep.
+
+        Semantically identical to per-tuple :meth:`add` over ``delta``, but
+        the ring operations are bound to locals, the primary map is merged
+        in one pass, and each registered secondary index is maintained in
+        one sweep over the effective updates instead of a per-tuple
+        ``_index_set``/``_index_drop`` round-trip.
+        """
         if delta.schema != self.schema:
             raise SchemaError(
                 f"cannot absorb {delta.schema} into {self.schema}"
             )
-        for key, payload in delta.items():
-            self.add(key, payload)
+        ring = self.ring
+        radd = ring.add
+        rzero = ring.is_zero
+        data = self._data
+        if not self._indexes:
+            # Delta payloads are never zero (the relation invariant), so the
+            # merge only needs the cancellation test on existing keys.
+            for key, payload in delta._data.items():
+                current = data.get(key)
+                if current is None:
+                    data[key] = payload
+                else:
+                    merged = radd(current, payload)
+                    if rzero(merged):
+                        del data[key]
+                    else:
+                        data[key] = merged
+            return
+        rneg = ring.neg
+        #: (key, stored payload after the merge or None if deleted, applied
+        #: payload delta) — replayed once per index below.
+        updates: list = []
+        for key, payload in delta._data.items():
+            current = data.get(key)
+            if current is None:
+                data[key] = payload
+                updates.append((key, payload, payload))
+            else:
+                merged = radd(current, payload)
+                if rzero(merged):
+                    del data[key]
+                    updates.append((key, None, rneg(current)))
+                else:
+                    data[key] = merged
+                    updates.append((key, merged, payload))
+        for projector, buckets, sums in self._indexes.values():
+            for key, stored, applied in updates:
+                subkey = projector(key)
+                if stored is None:
+                    bucket = buckets.get(subkey)
+                    if bucket is not None:
+                        bucket.pop(key, None)
+                        if not bucket:
+                            del buckets[subkey]
+                            sums.pop(subkey, None)
+                            continue
+                    current = sums.get(subkey)
+                    if current is not None:
+                        # Keep the (possibly zero) cancelled sum while the
+                        # bucket is non-empty, as _index_drop does.
+                        sums[subkey] = radd(current, applied)
+                else:
+                    bucket = buckets.get(subkey)
+                    if bucket is None:
+                        buckets[subkey] = {key: stored}
+                    else:
+                        bucket[key] = stored
+                    current = sums.get(subkey)
+                    sums[subkey] = (
+                        applied if current is None else radd(current, applied)
+                    )
 
     def clear(self) -> None:
         """Remove all keys (registered indexes are emptied too)."""
@@ -318,8 +397,7 @@ class Relation:
                 f"union over different schemas: {self.schema} vs {other.schema}"
             )
         out = self.copy(name or f"({self.name}+{other.name})")
-        for key, payload in other.items():
-            out.add(key, payload)
+        out.absorb_bulk(other)
         return out
 
     def negate(self, name: Optional[str] = None) -> "Relation":
@@ -335,27 +413,98 @@ class Relation:
         Payload order is ``self * other`` (left to right), which matters for
         non-commutative rings such as matrix payloads.
         """
-        out_schema = merge_schemas(self.schema, other.schema)
-        out = Relation(name or f"({self.name}*{other.name})", out_schema, self.ring)
+        return self.join_project(
+            other, (), None, name or f"({self.name}*{other.name})"
+        )
+
+    def _drop_zeros(self, data: Dict[Key, Payload]) -> Dict[Key, Payload]:
+        """Remove ring-zero payloads (the deferred form of ``add``'s test)."""
+        is_zero = self.ring.is_zero
+        return {k: v for k, v in data.items() if not is_zero(v)}
+
+    def join_project(
+        self,
+        other: "Relation",
+        drop: Sequence[str],
+        lifting: Optional[Mapping[str, LiftFn]] = None,
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """``⊕_drop (self ⊗ other)``: join with on-the-fly marginalization.
+
+        Semantically ``self.join(other).marginalize(drop, lifting)``, but the
+        full join is never materialized: each match is lifted and accumulated
+        straight onto its reduced key (the fused form of Section 5's
+        "marginalization pushed past joins").  With ``drop`` empty this is a
+        plain join — :meth:`join` delegates here.  Output tuples accumulate
+        in a plain dict (the output is fresh and index-free); zero payloads
+        are dropped in one final sweep.
+        """
+        merged = merge_schemas(self.schema, other.schema)
+        drop_set = set(drop)
+        if len(drop_set) != len(tuple(drop)) or not drop_set <= set(merged):
+            raise SchemaError(
+                f"cannot drop {tuple(drop)} from join schema {merged}"
+            )
+        out_schema = tuple(a for a in merged if a not in drop_set)
+        out = Relation(
+            name or f"sum({self.name}*{other.name})", out_schema, self.ring
+        )
+        ring = self.ring
+        mul = ring.mul
+        radd = ring.add
+        # With nothing to drop, the merged key IS the output key; skip the
+        # per-match projector call on that (hot, plain-join) path.
+        identity = not drop_set
+        keep = key_projector(merged, out_schema)
+        lifted = [
+            (merged.index(v), lifting[v])
+            for v in drop
+            if lifting is not None and lifting.get(v) is not None
+        ]
         common = tuple(a for a in self.schema if a in set(other.schema))
-        mul = self.ring.mul
+        data_out: Dict[Key, Payload] = {}
 
         if not common:
             # Cartesian product; delta optimization (Section 5) avoids
             # materializing these except at small final results.
             for lkey, lpay in self._data.items():
                 for rkey, rpay in other._data.items():
-                    out.add(lkey + rkey, mul(lpay, rpay))
+                    mkey = lkey + rkey
+                    value = mul(lpay, rpay)
+                    for position, lift in lifted:
+                        value = mul(value, lift(mkey[position]))
+                    group = mkey if identity else keep(mkey)
+                    current = data_out.get(group)
+                    data_out[group] = (
+                        value if current is None else radd(current, value)
+                    )
+            out._data = self._drop_zeros(data_out)
             return out
 
-        # Hash join: index the smaller side on the common attributes.
-        build, probe = (self, other) if len(self) <= len(other) else (other, self)
-        build_common = key_projector(build.schema, common)
+        # Hash join: index the smaller side on the common attributes — but a
+        # side with a registered secondary index on exactly the common
+        # attributes is reused as the build side for free.
+        self_entry = self._indexes.get(common)
+        other_entry = other._indexes.get(common)
+        if self_entry is not None and other_entry is None:
+            build, probe, index = self, other, self_entry[1]
+        elif other_entry is not None and self_entry is None:
+            build, probe, index = other, self, other_entry[1]
+        else:
+            if len(self) <= len(other):
+                build, probe = self, other
+                entry = self_entry
+            else:
+                build, probe = other, self
+                entry = other_entry
+            if entry is not None:
+                index = entry[1]
+            else:
+                build_common = key_projector(build.schema, common)
+                index = {}
+                for key, payload in build._data.items():
+                    index.setdefault(build_common(key), {})[key] = payload
         probe_common = key_projector(probe.schema, common)
-        index: Dict[tuple, list] = {}
-        for key, payload in build._data.items():
-            index.setdefault(build_common(key), []).append((key, payload))
-
         left_is_build = build is self
         right_residual = tuple(a for a in other.schema if a not in set(self.schema))
         left_proj = key_projector(self.schema, self.schema)
@@ -364,12 +513,21 @@ class Relation:
             matches = index.get(probe_common(pkey))
             if not matches:
                 continue
-            for bkey, bpay in matches:
+            for bkey, bpay in matches.items():
                 if left_is_build:
                     lkey, lpay, rkey, rpay = bkey, bpay, pkey, ppay
                 else:
                     lkey, lpay, rkey, rpay = pkey, ppay, bkey, bpay
-                out.add(left_proj(lkey) + right_proj(rkey), mul(lpay, rpay))
+                mkey = left_proj(lkey) + right_proj(rkey)
+                value = mul(lpay, rpay)
+                for position, lift in lifted:
+                    value = mul(value, lift(mkey[position]))
+                group = mkey if identity else keep(mkey)
+                current = data_out.get(group)
+                data_out[group] = (
+                    value if current is None else radd(current, value)
+                )
+        out._data = self._drop_zeros(data_out)
         return out
 
     def marginalize(
@@ -396,19 +554,25 @@ class Relation:
             )
         out = Relation(name or f"sum_{''.join(variables)}({self.name})", remaining, self.ring)
         keep = key_projector(self.schema, remaining)
-        one = self.ring.one
         mul = self.ring.mul
+        radd = self.ring.add
         # Ordered positions of the marginalized variables; lifts applied in
         # the order given (innermost-first semantics).
         lifted = [
             (self.schema.index(v), lifting.get(v) if lifting else None)
             for v in variables
         ]
+        lifted = [(p, lift) for p, lift in lifted if lift is not None]
+        data_out: Dict[Key, Payload] = {}
         for key, payload in self._data.items():
             for position, lift in lifted:
-                if lift is not None:
-                    payload = mul(payload, lift(key[position]))
-            out.add(keep(key), payload)
+                payload = mul(payload, lift(key[position]))
+            group = keep(key)
+            current = data_out.get(group)
+            data_out[group] = (
+                payload if current is None else radd(current, payload)
+            )
+        out._data = self._drop_zeros(data_out)
         return out
 
     def group_by(

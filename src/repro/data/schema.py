@@ -8,6 +8,7 @@ name lookups.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Iterable, Sequence, Tuple
 
 __all__ = [
@@ -29,9 +30,15 @@ def as_schema(attrs: Iterable[str]) -> Schema:
     """Normalize an iterable of attribute names into a schema tuple.
 
     Rejects duplicates; attribute order is preserved and significant (keys
-    are positional).
+    are positional).  Validation is memoized per tuple — relations are
+    created per delta on the update path, almost always over a schema seen
+    before.
     """
-    schema = tuple(attrs)
+    return _checked_schema(tuple(attrs))
+
+
+@lru_cache(maxsize=None)
+def _checked_schema(schema: Schema) -> Schema:
     if len(set(schema)) != len(schema):
         raise SchemaError(f"duplicate attributes in schema {schema}")
     return schema
@@ -52,6 +59,18 @@ def schema_positions(schema: Schema, attrs: Sequence[str]) -> Tuple[int, ...]:
 
 def key_projector(schema: Schema, attrs: Sequence[str]) -> Callable[[tuple], tuple]:
     """A function projecting a key over ``schema`` onto ``attrs`` (as a tuple).
+
+    Projectors are memoized per ``(schema, attrs)`` pair: schemas in a
+    workload are few and fixed, while joins/marginalizations request the
+    same projections on every delta, so repeated callers get the same
+    closure back without re-deriving positions.
+    """
+    return _cached_projector(schema, tuple(attrs))
+
+
+@lru_cache(maxsize=None)
+def _cached_projector(schema: Schema, attrs: Tuple[str, ...]) -> Callable[[tuple], tuple]:
+    """Build (and cache) the positional projector for one schema/attrs pair.
 
     The identity projection is special-cased so full-schema projections are
     free, which matters on the hot path of joins on all attributes.

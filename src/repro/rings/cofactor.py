@@ -24,7 +24,7 @@ only towards the root do they grow to the full degree.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +83,31 @@ class CofactorTriple:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def _make(
+        cls,
+        degree: int,
+        count: float,
+        sums: Optional[np.ndarray],
+        quads: Optional[np.ndarray],
+        support: Tuple[int, ...],
+    ) -> "CofactorTriple":
+        """Internal fast constructor: no coercion, no shape validation.
+
+        Callers (the ring operations) guarantee the invariants the public
+        ``__init__`` enforces — blocks already float arrays shaped to the
+        support, empty support ⇔ ``None`` blocks.  Skipping the per-triple
+        ``np.asarray``/shape checks matters: IVM allocates a triple per ring
+        operation on the update hot path.
+        """
+        triple = object.__new__(cls)
+        triple.degree = degree
+        triple.count = count
+        triple.support = support
+        triple.sums = sums
+        triple.quads = quads
+        return triple
+
     def dense_sums(self) -> np.ndarray:
         """The sum vector over all m variables (zero blocks materialized)."""
         out = np.zeros(self.degree)
@@ -129,18 +154,62 @@ class CofactorTriple:
         )
 
 
-def _embed(
-    triple: CofactorTriple, support: Tuple[int, ...]
+#: Embedding maps memoized per (source support, target support): the sum
+#: positions plus the *flattened* indices of the source's quadratic block
+#: inside the target matrix.  Supports along a view tree repeat on every
+#: update, and flat 1-D fancy indexing is about twice as fast as the
+#: equivalent 2-D mesh assignment, so blocks are scattered through these.
+_EMBED_MAPS: Dict[
+    Tuple[Tuple[int, ...], Tuple[int, ...]],
+    Tuple[np.ndarray, np.ndarray],
+] = {}
+
+#: Merge maps memoized per (left support, right support): the union
+#: support and every index vector a pairwise add/mul needs — one cache hit
+#: per ring operation.
+_MERGE_MAPS: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], tuple] = {}
+
+
+def _embed_maps(
+    source: Tuple[int, ...], target: Tuple[int, ...]
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Blocks of ``triple`` re-indexed onto a (larger) support."""
-    k = len(support)
-    sums = np.zeros(k)
-    quads = np.zeros((k, k))
-    if triple.sums is not None:
-        positions = [support.index(i) for i in triple.support]
-        sums[positions] = triple.sums
-        quads[np.ix_(positions, positions)] = triple.quads
-    return sums, quads
+    key = (source, target)
+    maps = _EMBED_MAPS.get(key)
+    if maps is None:
+        positions = np.array(
+            [target.index(i) for i in source], dtype=np.intp
+        )
+        k = len(target)
+        flat = (positions[:, None] * k + positions[None, :]).ravel()
+        maps = (positions, flat)
+        _EMBED_MAPS[key] = maps
+    return maps
+
+
+def _merge_maps(left: Tuple[int, ...], right: Tuple[int, ...]) -> tuple:
+    """``(union, k, pos_l, pos_r, flat_ll, flat_rr, flat_lr, flat_rl)``
+    for scattering both operands (and their cross blocks) onto the union."""
+    key = (left, right)
+    maps = _MERGE_MAPS.get(key)
+    if maps is None:
+        union = tuple(sorted(set(left) | set(right)))
+        k = len(union)
+        pos_l = np.array([union.index(i) for i in left], dtype=np.intp)
+        pos_r = np.array([union.index(i) for i in right], dtype=np.intp)
+        maps = (
+            union,
+            k,
+            pos_l,
+            pos_r,
+            (pos_l[:, None] * k + pos_l[None, :]).ravel(),
+            (pos_r[:, None] * k + pos_r[None, :]).ravel(),
+            (pos_l[:, None] * k + pos_r[None, :]).ravel(),
+            (pos_r[:, None] * k + pos_l[None, :]).ravel(),
+        )
+        _MERGE_MAPS[key] = maps
+    return maps
+
+
 
 
 class CofactorRing(Ring):
@@ -163,68 +232,135 @@ class CofactorRing(Ring):
     def one(self) -> CofactorTriple:
         return self._one
 
-    def _union_support(
-        self, a: CofactorTriple, b: CofactorTriple
-    ) -> Tuple[int, ...]:
-        if a.support == b.support:
-            return a.support
-        return tuple(sorted(set(a.support) | set(b.support)))
-
     def add(self, a: CofactorTriple, b: CofactorTriple) -> CofactorTriple:
+        make = CofactorTriple._make
         if not b.support:
-            return CofactorTriple(
+            return make(
                 self.degree, a.count + b.count, a.sums, a.quads, a.support
             )
         if not a.support:
-            return CofactorTriple(
+            return make(
                 self.degree, a.count + b.count, b.sums, b.quads, b.support
             )
         if a.support == b.support:
-            return CofactorTriple(
+            return make(
                 self.degree,
                 a.count + b.count,
                 a.sums + b.sums,
                 a.quads + b.quads,
                 a.support,
             )
-        support = self._union_support(a, b)
-        sa, qa = _embed(a, support)
-        sb, qb = _embed(b, support)
-        return CofactorTriple(
-            self.degree, a.count + b.count, sa + sb, qa + qb, support
+        union, k, pos_a, pos_b, flat_aa, flat_bb, _, _ = _merge_maps(
+            a.support, b.support
         )
+        if union == a.support:
+            sums = a.sums.copy()
+            quads = a.quads.copy()
+            sums[pos_b] += b.sums
+            quads.ravel()[flat_bb] += b.quads.ravel()
+        elif union == b.support:
+            sums = b.sums.copy()
+            quads = b.quads.copy()
+            sums[pos_a] += a.sums
+            quads.ravel()[flat_aa] += a.quads.ravel()
+        else:
+            sums = np.zeros(k)
+            sums[pos_a] = a.sums
+            sums[pos_b] += b.sums
+            flat = np.zeros(k * k)
+            flat[flat_aa] = a.quads.ravel()
+            flat[flat_bb] += b.quads.ravel()
+            quads = flat.reshape(k, k)
+        return make(self.degree, a.count + b.count, sums, quads, union)
 
     def mul(self, a: CofactorTriple, b: CofactorTriple) -> CofactorTriple:
         count = a.count * b.count
-        if not a.support and not b.support:
-            return CofactorTriple(self.degree, count)
+        make = CofactorTriple._make
         if not b.support:
+            if b.count == 1.0:
+                # b = 1: triples are immutable, so the product *is* a.
+                return a
+            if not a.support:
+                return make(self.degree, count, None, None, ())
             # b is count-only: pure scaling of a's blocks.
-            return CofactorTriple(
+            return make(
                 self.degree, count,
                 b.count * a.sums, b.count * a.quads, a.support,
             )
         if not a.support:
-            return CofactorTriple(
+            if a.count == 1.0:
+                return b
+            return make(
                 self.degree, count,
                 a.count * b.sums, a.count * b.quads, b.support,
             )
-        support = self._union_support(a, b)
-        sa, qa = (a.sums, a.quads) if support == a.support else _embed(a, support)
-        sb, qb = (b.sums, b.quads) if support == b.support else _embed(b, support)
-        cross = np.outer(sa, sb)
-        return CofactorTriple(
-            self.degree,
-            count,
-            b.count * sa + a.count * sb,
-            b.count * qa + a.count * qb + cross + cross.T,
-            support,
+        if a.support == b.support:
+            # Equal supports: dense arithmetic, no scatter needed.
+            cross = a.sums[:, None] * b.sums[None, :]
+            return make(
+                self.degree,
+                count,
+                b.count * a.sums + a.count * b.sums,
+                b.count * a.quads + a.count * b.quads + cross + cross.T,
+                a.support,
+            )
+        union, k, pos_a, pos_b, flat_aa, flat_bb, flat_ab, flat_ba = (
+            _merge_maps(a.support, b.support)
         )
+        if union == a.support and len(b.support) == 1:
+            # The hot shape of the trigger loop: an accumulated payload times
+            # a lifted single variable already inside its support.  The cross
+            # term touches one row and one column only; everything else is a
+            # scalar scale (or, for lifts with count 1, a plain copy).
+            j = pos_b[0]
+            sb0 = b.sums[0]
+            if b.count == 1.0:
+                sums = a.sums.copy()
+                quads = a.quads.copy()
+            else:
+                sums = b.count * a.sums
+                quads = b.count * a.quads
+            sums[j] += a.count * sb0
+            quads[j, j] += a.count * b.quads[0, 0]
+            cross_line = a.sums * sb0
+            quads[:, j] += cross_line
+            quads[j, :] += cross_line
+            return make(self.degree, count, sums, quads, union)
+        # General case: assemble the result blocks directly on the union
+        # support.  Each input contributes only on its own positions, and the
+        # cross term ``s_a s_bᵀ + s_b s_aᵀ`` is non-zero only on the
+        # (a-positions × b-positions) blocks — scattering input-sized blocks
+        # through the cached flat maps avoids materializing two union-sized
+        # embeddings per multiplication.
+        cross = a.sums[:, None] * b.sums[None, :]
+        if union == a.support:
+            sums = b.count * a.sums
+            sums[pos_b] += a.count * b.sums
+            quads = b.count * a.quads
+            flat = quads.ravel()
+            flat[flat_bb] += (a.count * b.quads).ravel()
+        elif union == b.support:
+            sums = a.count * b.sums
+            sums[pos_a] += b.count * a.sums
+            quads = a.count * b.quads
+            flat = quads.ravel()
+            flat[flat_aa] += (b.count * a.quads).ravel()
+        else:
+            sums = np.zeros(k)
+            sums[pos_a] = b.count * a.sums
+            sums[pos_b] += a.count * b.sums
+            flat = np.zeros(k * k)
+            flat[flat_aa] = (b.count * a.quads).ravel()
+            flat[flat_bb] += (a.count * b.quads).ravel()
+            quads = flat.reshape(k, k)
+        flat[flat_ab] += cross.ravel()
+        flat[flat_ba] += cross.T.ravel()
+        return make(self.degree, count, sums, quads, union)
 
     def neg(self, a: CofactorTriple) -> CofactorTriple:
         if not a.support:
-            return CofactorTriple(self.degree, -a.count)
-        return CofactorTriple(
+            return CofactorTriple._make(self.degree, -a.count, None, None, ())
+        return CofactorTriple._make(
             self.degree, -a.count, -a.sums, -a.quads, a.support
         )
 
@@ -253,6 +389,58 @@ class CofactorRing(Ring):
             return False
         return True
 
+    def sum(self, items) -> CofactorTriple:
+        """Vectorized sum: stack same-support blocks, scatter across groups.
+
+        Same result as the base class's pairwise fold (ring addition is
+        commutative), but a batch of n same-support triples costs two
+        stacked ``np.sum`` calls instead of n-1 pairs of allocations — the
+        backbone of the batched update trigger.
+        """
+        triples = items if isinstance(items, list) else list(items)
+        if not triples:
+            return self._zero
+        if len(triples) == 1:
+            return triples[0]
+        count = 0.0
+        groups: Dict[Tuple[int, ...], list] = {}
+        for triple in triples:
+            count += triple.count
+            if triple.support:
+                groups.setdefault(triple.support, []).append(triple)
+        make = CofactorTriple._make
+        if not groups:
+            return make(self.degree, count, None, None, ())
+        partials = []
+        for support, members in groups.items():
+            if len(members) == 1:
+                partials.append((support, members[0].sums, members[0].quads))
+            else:
+                partials.append((
+                    support,
+                    np.sum([t.sums for t in members], axis=0),
+                    np.sum([t.quads for t in members], axis=0),
+                ))
+        if len(partials) == 1:
+            # Sharing the group's arrays is safe: triples never mutate
+            # their blocks, whatever triple they end up wrapped in.
+            support, sums, quads = partials[0]
+            return make(self.degree, count, sums, quads, support)
+        union_set: set = set()
+        for support, _, _ in partials:
+            union_set |= set(support)
+        union = tuple(sorted(union_set))
+        k = len(union)
+        total_sums = np.zeros(k)
+        total_flat = np.zeros(k * k)
+        for support, sums, quads in partials:
+            positions, flat = _embed_maps(support, union)
+            total_sums[positions] += sums
+            total_flat[flat] += quads.ravel()
+        return make(
+            self.degree, count, total_sums, total_flat.reshape(k, k), union
+        )
+
     def from_int(self, n: int) -> CofactorTriple:
         return CofactorTriple(self.degree, float(n))
 
@@ -266,14 +454,29 @@ class CofactorRing(Ring):
             raise ValueError(f"variable index {index} out of range")
         support = (index,)
 
+        degree = self.degree
+        make = CofactorTriple._make
+        #: Lifted triples memoized per value: streams revisit domain values
+        #: constantly, and lifted triples (like all triples) are immutable.
+        #: Bounded so continuous features (mostly-distinct floats) cannot
+        #: grow it without limit — on overflow the memo simply resets.
+        memo: Dict[object, CofactorTriple] = {}
+        memo_cap = 1 << 16
+
         def _lift(value: object) -> CofactorTriple:
-            x = float(value)  # type: ignore[arg-type]
-            return CofactorTriple(
-                self.degree,
-                1.0,
-                np.array([x]),
-                np.array([[x * x]]),
-                support,
-            )
+            triple = memo.get(value)
+            if triple is None:
+                x = float(value)  # type: ignore[arg-type]
+                triple = make(
+                    degree,
+                    1.0,
+                    np.array([x]),
+                    np.array([[x * x]]),
+                    support,
+                )
+                if len(memo) >= memo_cap:
+                    memo.clear()
+                memo[value] = triple
+            return triple
 
         return _lift

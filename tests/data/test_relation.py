@@ -343,3 +343,94 @@ def test_marginalize_after_join_equals_pushed(d1, d2):
     pushed = a.marginalize(["X"], lift).join(b)
     unpushed = a.join(b).marginalize(["X"], lift)
     assert pushed.same_as(unpushed.reorder(pushed.schema))
+
+
+class TestKeyCoercion:
+    def test_list_key_lands_on_tuple_entry(self):
+        """Regression: ``add`` must coerce keys like ``payload``/``in`` do —
+        a list key used to create an entry no lookup could ever reach."""
+        r = Relation.empty("R", ("A", "B"), INT_RING)
+        r.add([1, 2], 3)
+        assert [1, 2] in r
+        assert (1, 2) in r
+        assert r.payload([1, 2]) == 3
+        assert r.payload((1, 2)) == 3
+        r.add((1, 2), -3)
+        assert (1, 2) not in r
+        assert len(r) == 0
+
+    def test_list_key_maintains_indexes(self):
+        r = Relation.empty("R", ("A", "B"), INT_RING)
+        r.register_index(("A",))
+        r.add([1, 2], 3)
+        assert list(r.lookup(("A",), (1,))) == [((1, 2), 3)]
+        assert r.lookup_sum(("A",), (1,)) == 3
+
+
+class TestAbsorbBulk:
+    def _indexed(self, data):
+        r = Relation("R", ("A", "B"), INT_RING, data)
+        r.register_index(("A",))
+        r.register_index(("B",))
+        return r
+
+    def _check_indexes_consistent(self, r):
+        """Every registered index must equal a freshly built one."""
+        for attrs, (projector, buckets, sums) in r._indexes.items():
+            fresh = Relation("F", r.schema, r.ring, dict(r._data))
+            fresh.register_index(attrs)
+            _, fresh_buckets, fresh_sums = fresh._indexes[attrs]
+            assert buckets == fresh_buckets, attrs
+            for subkey, total in sums.items():
+                assert total == fresh_sums.get(subkey, 0), (attrs, subkey)
+
+    def test_matches_per_tuple_absorb(self, rng):
+        for _ in range(25):
+            base_data = {
+                (rng.randint(0, 3), rng.randint(0, 3)): rng.choice([1, 2, -1])
+                for _ in range(rng.randint(0, 6))
+            }
+            delta_data = {
+                (rng.randint(0, 3), rng.randint(0, 3)): rng.choice([1, 2, -1])
+                for _ in range(rng.randint(1, 6))
+            }
+            bulk = self._indexed(base_data)
+            reference = Relation("S", ("A", "B"), INT_RING, base_data)
+            delta = Relation("D", ("A", "B"), INT_RING, delta_data)
+            bulk.absorb_bulk(delta)
+            for key, payload in delta.items():
+                reference.add(key, payload)
+            assert bulk.same_as(reference)
+            self._check_indexes_consistent(bulk)
+
+    def test_cancellation_clears_buckets(self):
+        r = self._indexed({(1, 1): 2, (1, 2): 5})
+        r.absorb_bulk(Relation("D", ("A", "B"), INT_RING, {(1, 1): -2}))
+        assert (1, 1) not in r
+        assert list(r.lookup(("A",), (1,))) == [((1, 2), 5)]
+        assert r.lookup_sum(("A",), (1,)) == 5
+        r.absorb_bulk(Relation("D", ("A", "B"), INT_RING, {(1, 2): -5}))
+        assert r.is_empty
+        assert list(r.lookup(("A",), (1,))) == []
+
+    def test_copy_drops_registered_indexes(self):
+        """Documented behaviour: copies start index-free."""
+        r = self._indexed({(1, 1): 2})
+        dup = r.copy()
+        assert dup._indexes == {}
+        with pytest.raises(KeyError):
+            dup.lookup(("A",), (1,))
+
+
+class TestJoinIndexReuse:
+    def test_registered_index_is_reused_and_correct(self):
+        left = Relation("L", ("A", "B"), INT_RING, {(1, 10): 2, (2, 20): 3})
+        right = Relation("R", ("B", "C"), INT_RING, {(10, 7): 5, (30, 8): 1})
+        plain = left.join(right)
+        left.register_index(("B",))
+        with_index = left.join(right)
+        assert with_index.same_as(plain)
+        # And the indexed side keeps working after more updates.
+        left.add((3, 30), 4)
+        updated = left.join(right)
+        assert updated.payload((3, 30, 8)) == 4
