@@ -11,6 +11,12 @@ The last column feeds the *same* small-batch stream through the batched
 multi-relation trigger (:meth:`FIVMEngine.apply_batch`, 100 deltas of 5
 tuples per call — effective batch 500): coalescing the round-robin deltas
 into one merged delta per relation must beat applying them one by one.
+All paths of one ``apply_batch`` pass share the engine's probe cache
+(sibling collapses computed for one relation's path are reused by the
+others until an absorb invalidates them), and the trigger also accepts
+``FactorizedUpdate`` items — rank-1 terms coalesce per relation and ride
+the same pass (see ``test_ablations.test_ablation_compiled_factorized``
+for the factorized-path numbers).
 """
 
 from __future__ import annotations

@@ -11,8 +11,7 @@ while re-evaluation is flat, giving the paper's crossover.
 
 from __future__ import annotations
 
-import time
-from typing import Callable, List
+from typing import List
 
 import numpy as np
 
@@ -25,7 +24,7 @@ from repro.apps import (
 )
 from repro.baselines import FactorizedReevaluator, FirstOrderIVM
 from repro.apps.matrix_chain import chain_variable_order
-from repro.bench import format_table
+from repro.bench import format_table, timed_per_update as _timed
 from repro.datasets.matrices import (
     matrix_as_relation,
     random_matrix,
@@ -35,13 +34,6 @@ from repro.datasets.matrices import (
 from repro.rings import REAL_RING
 
 from benchmarks.conftest import SCALE, report
-
-
-def _timed(fn: Callable[[], None], repeats: int) -> float:
-    start = time.perf_counter()
-    for _ in range(repeats):
-        fn()
-    return (time.perf_counter() - start) / repeats
 
 
 def _dense_rows(ns: List[int], rng) -> List[List[object]]:

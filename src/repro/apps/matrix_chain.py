@@ -122,6 +122,7 @@ class MatrixChainIVM:
         updatable: Optional[Sequence[str]] = None,
         use_optimal_order: bool = True,
         ring=REAL_RING,
+        compiled: bool = True,
     ):
         self.k = len(matrices)
         if self.k < 1:
@@ -141,7 +142,7 @@ class MatrixChainIVM:
             for i, matrix in enumerate(matrices)
         )
         self.engine = FIVMEngine(
-            self.query, order, updatable=updatable, db=db
+            self.query, order, updatable=updatable, db=db, compiled=compiled
         )
 
     def apply_rank_one(self, index: int, u: np.ndarray, v: np.ndarray) -> None:

@@ -1,11 +1,19 @@
 """Benchmark substrate: stream harness and logical memory accounting."""
 
-from repro.bench.harness import StreamRunResult, format_table, run_stream
+from repro.bench.harness import (
+    StreamRunResult,
+    format_table,
+    run_stream,
+    timed_chain_rank_one,
+    timed_per_update,
+)
 from repro.bench.memory import payload_scalars, relation_scalars, strategy_scalars
 
 __all__ = [
     "StreamRunResult",
     "run_stream",
+    "timed_per_update",
+    "timed_chain_rank_one",
     "format_table",
     "payload_scalars",
     "relation_scalars",

@@ -16,7 +16,55 @@ from typing import Callable, List, Optional
 from repro.bench.memory import strategy_scalars
 from repro.datasets.streams import UpdateStream
 
-__all__ = ["StreamRunResult", "run_stream", "format_table"]
+__all__ = [
+    "StreamRunResult",
+    "run_stream",
+    "timed_per_update",
+    "timed_chain_rank_one",
+    "format_table",
+]
+
+
+def timed_per_update(fn: Callable[[], object], repeats: int) -> float:
+    """Average wall-clock seconds per call of ``fn`` over ``repeats`` calls.
+
+    The update-shaped twin of :func:`run_stream` for workloads that are not
+    tuple streams (rank-1 matrix updates, factorized deltas): the fig6
+    benchmarks, the factorized ablation, and the CI smoke's factorized
+    column all time through this one helper so their numbers compare.
+    """
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def timed_chain_rank_one(mats, terms, compiled: bool, index: int = 2):
+    """Seconds per rank-1 update to ``A<index>`` of a hash-engine matrix
+    chain, plus the driven chain (so callers can compare end states).
+
+    The one protocol shared by the factorized ablation and the CI smoke's
+    factorized column: the first update is burned off the clock (it pays
+    the lazy factor-program compilation), the rest are timed through
+    :func:`timed_per_update` — so at least two terms are required.
+    """
+    from repro.apps.matrix_chain import MatrixChainIVM
+
+    if len(terms) < 2:
+        raise ValueError(
+            "timed_chain_rank_one needs >= 2 terms: the first is burned as "
+            "the compilation warm-up"
+        )
+
+    chain = MatrixChainIVM(mats, updatable=[f"A{index}"], compiled=compiled)
+    queue = iter(terms)
+
+    def one_update():
+        u, v = next(queue)
+        chain.apply_rank_one(index, u, v)
+
+    one_update()
+    return chain, timed_per_update(one_update, len(terms) - 1)
 
 
 @dataclass

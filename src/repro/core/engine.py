@@ -35,6 +35,16 @@ Delta propagation runs in three stages, all fixed at construction time:
    as the executable reference semantics (the differential tests hold the
    two equal key-for-key on every ring).
 
+The factorized path is compiled the same way: each rank-1 term of a
+:class:`FactorizedUpdate` runs through one *factor slot program* per node
+(:func:`repro.core.plan_exec.compile_factor_program`), compiled lazily per
+``(node, source, factor partition)`` since partitions depend on the update
+stream, with :meth:`_propagate_factored` as the interpreted reference.
+Sibling collapses are memoized in a per-view **probe cache** shared across
+the terms of one update, the relations of one :meth:`apply_batch` pass,
+and consecutive updates; every view write invalidates that view's entries
+(:meth:`_invalidate`), which is what makes the sharing sound.
+
 Batched-trigger contract
 ------------------------
 
@@ -45,7 +55,9 @@ Because single-relation propagation is linear in the delta and the final
 view state is a function of the final database only, the maintained views
 and the returned total root delta equal those of applying the deltas one by
 one — while paths and indexes are touched once per relation instead of once
-per delta (the paper's Figure 12 batching effect).
+per delta (the paper's Figure 12 batching effect).  Items may also be
+:class:`FactorizedUpdate` instances, whose terms coalesce per relation and
+propagate in product form through the same pass.
 """
 
 from __future__ import annotations
@@ -54,7 +66,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.factorized_update import FactorizedUpdate
 from repro.core.materialization import delta_sources, materialization_flags
-from repro.core.plan_exec import SlotProgram, compile_slot_program
+from repro.core.plan_exec import (
+    FactorProgram,
+    SlotProgram,
+    compile_factor_program,
+    compile_slot_program,
+)
 from repro.core.query import Query
 from repro.core.variable_order import VariableOrder
 from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
@@ -184,6 +201,17 @@ class FIVMEngine:
         }
         self._plans: Dict[Tuple[str, Source], List[_PlanStep]] = {}
         self._programs: Dict[Tuple[str, Source], SlotProgram] = {}
+        #: Factor slot programs, compiled lazily per (node, source, factor
+        #: partition) the first time a rank-1 term with that shape passes
+        #: through — partitions depend on the updates, not the tree.
+        self._factor_programs: Dict[tuple, FactorProgram] = {}
+        #: Shared probe cache: view name → per-site memoized sibling
+        #: collapses (see :mod:`repro.core.plan_exec`).  Entries stay valid
+        #: until the view absorbs a delta; every write path below calls
+        #: :meth:`_invalidate`, which is what makes sharing probe results
+        #: across rank-1 terms, across the relations of one
+        #: :meth:`apply_batch` pass, and across consecutive updates sound.
+        self._probe_cache: Dict[str, dict] = {}
         self._compile_plans()
         if db is not None:
             self.initialize(db)
@@ -300,8 +328,14 @@ class FIVMEngine:
     # Initialization / recomputation
     # ------------------------------------------------------------------
 
+    def _invalidate(self, view_name: str) -> None:
+        """Drop the probe cache's entries for a view that just changed."""
+        if self._probe_cache:
+            self._probe_cache.pop(view_name, None)
+
     def initialize(self, db: Database) -> None:
         """(Re)load all materialized views from a database snapshot."""
+        self._probe_cache.clear()
         for view in self.views.values():
             view.clear()
 
@@ -388,6 +422,7 @@ class FIVMEngine:
         stored_base = self.views.get(leaf.name)
         if stored_base is not None:
             stored_base.absorb(delta)
+            self._invalidate(leaf.name)
 
         # 3. Propagate along the relation's leaf-to-root path.
         root_delta = self._propagate(leaf, delta)
@@ -399,9 +434,11 @@ class FIVMEngine:
                 contribution = self._propagate_from_indicator(node, i, ind_delta)
                 root_delta = root_delta.union(contribution, name=root.name)
             iv.commit(ind_delta)
+            if not ind_delta.is_empty:
+                self._invalidate(iv.name)
         return root_delta
 
-    def apply_batch(self, deltas: Iterable[Relation]) -> Relation:
+    def apply_batch(self, deltas: Iterable) -> Relation:
         """Apply a sequence of per-relation deltas as one batched trigger.
 
         Coalesces the deltas into one merged delta per relation (tuples that
@@ -411,10 +448,35 @@ class FIVMEngine:
         root delta; the maintained state and the returned total equal those
         of :meth:`apply_update` applied delta by delta (see the module
         docstring for why coalescing is sound).
+
+        Items may also be :class:`FactorizedUpdate` instances: their terms
+        are coalesced per relation too and propagated in product form after
+        that relation's listing delta (⊎ commutes per relation, so the
+        interleaving does not matter).  All paths of the pass share the
+        probe cache, so sibling aggregations computed for one relation are
+        reused by the others until an absorb invalidates them — the
+        simultaneous multi-path form of the batched trigger.
         """
         merged: Dict[str, Relation] = {}
+        factored: Dict[str, List[List[Relation]]] = {}
         order: List[str] = []
-        for delta in deltas:
+        for item in deltas:
+            if isinstance(item, FactorizedUpdate):
+                rel = item.relation
+                if rel not in self.updatable:
+                    raise KeyError(f"relation {rel!r} is not updatable")
+                if item.terms and item.attributes != frozenset(
+                    self.tree.leaves[rel].keys
+                ):
+                    raise ValueError(
+                        f"factorized delta covers {sorted(item.attributes)} "
+                        f"!= {self.tree.leaves[rel].keys} of {rel}"
+                    )
+                if rel not in merged and rel not in factored:
+                    order.append(rel)
+                factored.setdefault(rel, []).extend(item.terms)
+                continue
+            delta = item
             rel = delta.name
             if rel not in self.updatable:
                 raise KeyError(f"relation {rel!r} is not updatable")
@@ -425,17 +487,25 @@ class FIVMEngine:
                 )
             accumulated = merged.get(rel)
             if accumulated is None:
+                if rel not in factored:
+                    order.append(rel)
                 merged[rel] = delta.copy()
-                order.append(rel)
             else:
                 accumulated.absorb_bulk(delta)
         root = self.tree.root
         total = Relation(root.name, root.keys, self.query.ring)
         for rel in order:
-            coalesced = merged[rel]
-            if coalesced.is_empty:
-                continue
-            total = total.union(self.apply_update(coalesced), name=root.name)
+            coalesced = merged.get(rel)
+            if coalesced is not None and not coalesced.is_empty:
+                total = total.union(
+                    self.apply_update(coalesced), name=root.name
+                )
+            terms = factored.get(rel)
+            if terms:
+                update = FactorizedUpdate(rel, terms, ring=self.query.ring)
+                total = total.union(
+                    self.apply_factorized_update(update), name=root.name
+                )
         return total
 
     def _propagate(self, start_child: ViewNode, delta: Relation) -> Relation:
@@ -444,8 +514,9 @@ class FIVMEngine:
         while node is not None:
             source: Source = ("child", self._child_pos[node.name][prev.name])
             cur = self._delta_at_node(node, source, cur)
-            if self.flags[node.name]:
+            if self.flags[node.name] and not cur.is_empty:
                 self.views[node.name].absorb(cur)
+                self._invalidate(node.name)
             if cur.is_empty and node is not self.tree.root:
                 root = self.tree.root
                 return Relation(root.name, root.keys, self.query.ring)
@@ -456,8 +527,9 @@ class FIVMEngine:
         self, host: ViewNode, ind_index: int, ind_delta: Relation
     ) -> Relation:
         cur = self._delta_at_node(host, ("ind", ind_index), ind_delta)
-        if self.flags[host.name]:
+        if self.flags[host.name] and not cur.is_empty:
             self.views[host.name].absorb(cur)
+            self._invalidate(host.name)
         if cur.is_empty and host is not self.tree.root:
             root = self.tree.root
             return Relation(root.name, root.keys, self.query.ring)
@@ -591,6 +663,12 @@ class FIVMEngine:
         with; a Cartesian product is materialized only where a view must
         absorb the delta (typically just the root).  Requires a commutative
         ring (factor reordering).
+
+        On a compiled engine each rank-1 term runs through a factor slot
+        program per node (compiled lazily per factor-schema partition); the
+        ``compiled=False`` interpreter path below stays as the reference
+        semantics.  A rank-0 update returns the ring-zero root delta, like
+        a no-op :meth:`apply_update`.
         """
         if not self.query.ring.is_commutative:
             raise ValueError(
@@ -599,7 +677,15 @@ class FIVMEngine:
         rel = update.relation
         if rel not in self.updatable:
             raise KeyError(f"relation {rel!r} is not updatable")
+        root = self.tree.root
+        if not update.terms:
+            return Relation(root.name, root.keys, self.query.ring)
         leaf = self.tree.leaves[rel]
+        if update.attributes != frozenset(leaf.keys):
+            raise ValueError(
+                f"factorized delta covers {sorted(update.attributes)} "
+                f"!= {leaf.keys} of {rel}"
+            )
         observed = any(
             iv.base_name == rel
             for ivs in self._indicator_views.values()
@@ -611,7 +697,6 @@ class FIVMEngine:
             return self.apply_update(update.flatten(leaf.keys, name=rel))
 
         stored_base = self.views.get(leaf.name)
-        root = self.tree.root
         total = Relation(root.name, root.keys, self.query.ring)
         for term in update.terms:
             if stored_base is not None:
@@ -620,9 +705,78 @@ class FIVMEngine:
                         leaf.keys, name=rel
                     )
                 )
-            contribution = self._propagate_factored(leaf, list(term))
+                self._invalidate(leaf.name)
+            if self.compiled:
+                contribution = self._propagate_factored_compiled(
+                    leaf, list(term)
+                )
+            else:
+                contribution = self._propagate_factored(leaf, list(term))
             total = total.union(contribution, name=root.name)
         return total
+
+    def _factor_program(
+        self, node: ViewNode, source: Source, partition: tuple
+    ) -> "FactorProgram":
+        """The factor slot program for this entry point and partition,
+        compiled on first use (partitions depend on the update stream)."""
+        key = (node.name, source, partition)
+        program = self._factor_programs.get(key)
+        if program is None:
+            idx = source[1]
+            targets = [
+                self.views[child.name]
+                for i, child in enumerate(node.children)
+                if i != idx
+            ]
+            targets += [iv.relation for iv in self._indicators_at(node)]
+            program = compile_factor_program(
+                node,
+                source,
+                partition,
+                targets,
+                self.flags[node.name],
+                self.query,
+                self.group_aware,
+            )
+            self._factor_programs[key] = program
+        return program
+
+    def _propagate_factored_compiled(
+        self, leaf: ViewNode, factors: List[Relation]
+    ) -> Relation:
+        """Compiled twin of :meth:`_propagate_factored`: one factor slot
+        program per node, factor *dicts* flowing between them, sibling
+        collapses shared through the probe cache."""
+        ring = self.query.ring
+        root = self.tree.root
+        if not factors:
+            return Relation(root.name, root.keys, ring)
+        partition = tuple(f.schema for f in factors)
+        fdatas = tuple(f._data for f in factors)
+        cache = self._probe_cache
+        flat_data: Optional[dict] = None
+        prev, node = leaf, leaf.parent
+        while node is not None:
+            source: Source = ("child", self._child_pos[node.name][prev.name])
+            program = self._factor_program(node, source, partition)
+            fdatas, node_flat = program.run(fdatas, cache)
+            if fdatas is None:
+                return Relation(root.name, root.keys, ring)
+            partition = program.out_partition
+            if node_flat is not None:
+                if node_flat:
+                    delta = Relation(node.name, node.keys, ring)
+                    delta._data = node_flat
+                    self.views[node.name].absorb(delta)
+                    self._invalidate(node.name)
+                flat_data = node_flat
+            if any(not d for d in fdatas) and node is not self.tree.root:
+                return Relation(root.name, root.keys, ring)
+            prev, node = node, node.parent
+        out = Relation(root.name, root.keys, ring)
+        out._data = flat_data if flat_data is not None else {}
+        return out
 
     def _propagate_factored(
         self, leaf: ViewNode, factors: List[Relation]
@@ -630,6 +784,9 @@ class FIVMEngine:
         lifting = self.query.lifting
         prev, node = leaf, leaf.parent
         flat: Optional[Relation] = None
+        if not factors:
+            root = self.tree.root
+            return Relation(root.name, root.keys, self.query.ring)
         while node is not None:
             # Join in each materialized sibling (and indicator) by merging it
             # with the factors it shares attributes with.  A marginalized
@@ -678,7 +835,9 @@ class FIVMEngine:
                 return Relation(root.name, root.keys, self.query.ring)
             if self.flags[node.name]:
                 flat = _flatten_factors(factors, node.keys, node.name)
-                self.views[node.name].absorb(flat)
+                if not flat.is_empty:
+                    self.views[node.name].absorb(flat)
+                    self._invalidate(node.name)
             prev, node = node, node.parent
         assert flat is not None, "the root is always materialized"
         return flat

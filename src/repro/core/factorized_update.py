@@ -28,13 +28,29 @@ __all__ = ["FactorizedUpdate", "decompose"]
 
 
 class FactorizedUpdate:
-    """A delta for one relation, represented as a union of product terms."""
+    """A delta for one relation, represented as a union of product terms.
 
-    def __init__(self, relation: str, terms: Sequence[Sequence[Relation]]):
+    An empty term list is the *rank-0* update — the additive identity.  It
+    flattens to the empty (all-zero) relation over any requested schema and
+    propagates as a no-op; pass ``ring`` explicitly when no factor is
+    around to infer it from.
+    """
+
+    def __init__(
+        self, relation: str, terms: Sequence[Sequence[Relation]], ring=None
+    ):
         self.relation = relation
         self.terms: List[List[Relation]] = [list(term) for term in terms]
+        #: The payload ring, inferred from the first factor when not given.
+        self.ring = ring
+        if self.ring is None:
+            for term in self.terms:
+                if term:
+                    self.ring = term[0].ring
+                    break
         if not self.terms:
-            raise ValueError("a factorized update needs at least one term")
+            self.attributes: frozenset = frozenset()
+            return
         reference = self._term_schema(self.terms[0])
         for term in self.terms[1:]:
             if self._term_schema(term) != reference:
@@ -69,20 +85,42 @@ class FactorizedUpdate:
         return len(self.terms)
 
     def flatten(self, schema: Sequence[str], name: Optional[str] = None) -> Relation:
-        """Materialize the full delta relation (for tests and fallbacks)."""
+        """Materialize the full delta relation (for tests and fallbacks).
+
+        A rank-0 update flattens to the ring-zero relation over ``schema``
+        (matching the no-op ``apply_update``); an empty *term* contributes
+        the multiplicative unit over the empty schema.
+        """
+        schema = tuple(schema)
+        label = name or f"delta_{self.relation}"
+        if not self.terms:
+            if self.ring is None:
+                raise ValueError(
+                    "flattening a rank-0 update needs an explicit ring"
+                )
+            return Relation(label, schema, self.ring)
         if frozenset(schema) != self.attributes:
             raise SchemaError(
                 f"target schema {schema} does not cover {sorted(self.attributes)}"
             )
         total: Optional[Relation] = None
         for term in self.terms:
-            product = term[0]
-            for factor in term[1:]:
-                product = product.join(factor)
-            product = product.reorder(schema, name=name or f"delta_{self.relation}")
+            if term:
+                product = term[0]
+                for factor in term[1:]:
+                    product = product.join(factor)
+            else:
+                if self.ring is None:
+                    raise ValueError(
+                        "flattening an empty term needs an explicit ring"
+                    )
+                product = Relation(
+                    label, (), self.ring, {(): self.ring.one}
+                )
+            product = product.reorder(schema, name=label)
             total = product if total is None else total.union(product)
         assert total is not None
-        total.name = name or f"delta_{self.relation}"
+        total.name = label
         return total
 
     def cumulative_size(self) -> int:
@@ -169,8 +207,12 @@ def decompose(delta: Relation) -> FactorizedUpdate:
     Splits off one variable at a time while the relation factorizes; the
     result is a single product term whose factors multiply back to ``delta``
     (verified by the test suite).  Relations that do not factorize yield the
-    trivial one-factor term.
+    trivial one-factor term; the empty delta yields the rank-0 update (no
+    terms), which flattens back to the zero relation and propagates as a
+    no-op.
     """
+    if delta.is_empty:
+        return FactorizedUpdate(delta.name, [], ring=delta.ring)
     factors: List[Relation] = []
     current = delta
     made_progress = True

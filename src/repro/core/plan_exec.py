@@ -34,15 +34,55 @@ The interpreter remains available via ``FIVMEngine(compiled=False)`` as the
 executable reference semantics; the differential tests in
 ``tests/core/test_slot_programs.py`` hold the two (and full recomputation)
 key-for-key equal across rings.
+
+Factor slot programs
+--------------------
+
+The factorized-update path (Section 5) gets the same treatment.  A rank-1
+term enters a node as a list of factor dicts over pairwise-disjoint
+schemas; :func:`compile_factor_program` compiles, per ``(node, source,
+partition)`` — the partition being the tuple of factor schemas — a trigger
+that mirrors :meth:`FIVMEngine._propagate_factored` step for step:
+
+* each sibling view sharing attributes with the term is merged through one
+  fused loop nest: the sharing factors are iterated (they are tiny delta
+  vectors), the sibling is probed through its primary map or a registered
+  secondary index, and variables whose coverage completes inside the merge
+  are marginalized on the fly (the compiled ``join_project``);
+* a sibling sharing *nothing* is appended as a factor by aliasing its
+  primary map — read-only, never copied;
+* leftover marginalizations are fused per factor into one grouped pass;
+* at materialized nodes the factors are flattened into a fresh delta dict
+  in the node's key order (zero products dropped — truncating rings can
+  cancel inside a product).
+
+**Shared probe results.**  Sibling reads that collapse a whole bucket (or a
+whole appended sibling) to one ring value are memoized in a caller-supplied
+*probe cache*: ``cache[view_name][site][subkey] → value``, where ``site``
+is a unique-per-compiled-op sentinel.  The engine passes one cache across
+all terms of an update and across all relations of one ``apply_batch``
+pass, and invalidates a view's entries whenever that view absorbs a delta
+— so rank-r terms and multi-relation batches share sibling aggregation
+work (the "truly simultaneous multi-path trigger").
+
+Factorized updates require a commutative ring, so the generated code is
+free to reorder and pre-aggregate payload products; accumulation still goes
+through per-key contribution lists folded by ``ring.sum`` (vectorized for
+the cofactor, degree, and product rings).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.data.relation import Relation
 
-__all__ = ["SlotProgram", "compile_slot_program"]
+__all__ = [
+    "SlotProgram",
+    "compile_slot_program",
+    "FactorProgram",
+    "compile_factor_program",
+]
 
 
 class SlotProgram:
@@ -268,3 +308,390 @@ def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
     )
     exec(code, env)
     return SlotProgram(node.name, out_attrs, ring, env["_trigger"], source_text)
+
+
+# ----------------------------------------------------------------------
+# Factor slot programs (the compiled factorized-update path)
+# ----------------------------------------------------------------------
+
+
+def _cache_site(cache, view, site):
+    """The per-``(view, site)`` memo dict inside a probe cache.
+
+    ``cache`` maps view names to per-view dicts (the engine invalidates a
+    whole view's entries by popping its name); each compiled op owns a
+    unique ``site`` sentinel keying its own sub-dict, so two ops probing
+    the same view never collide.
+    """
+    per_view = cache.get(view)
+    if per_view is None:
+        per_view = cache[view] = {}
+    per_site = per_view.get(site)
+    if per_site is None:
+        per_site = per_view[site] = {}
+    return per_site
+
+
+def _make_finalize(rsum, iszero):
+    """Fold per-key contribution lists with ``ring.sum``, dropping zeros."""
+
+    def _finalize(data):
+        dead = []
+        for key, values in data.items():
+            total = values[0] if len(values) == 1 else rsum(values)
+            if iszero(total):
+                dead.append(key)
+            else:
+                data[key] = total
+        for key in dead:
+            del data[key]
+        return data
+
+    return _finalize
+
+
+class FactorProgram:
+    """A compiled factorized-delta trigger for one ``(node, source)`` entry
+    point and one factor-schema partition."""
+
+    __slots__ = ("node_name", "out_partition", "ring", "_fn", "source_text")
+
+    def __init__(self, node_name, out_partition, ring, fn, source_text):
+        self.node_name = node_name
+        #: Schemas of the factors the program hands to the parent node, in
+        #: slot order — the parent's program is compiled for this partition.
+        self.out_partition = out_partition
+        self.ring = ring
+        self._fn = fn
+        #: The generated Python source (for debugging and the test suite).
+        self.source_text = source_text
+
+    def run(self, fdatas, cache):
+        """Propagate one rank-1 term through the node.
+
+        ``fdatas`` are the term's factor dicts aligned with the compiled
+        partition; ``cache`` is the engine's probe cache.  Returns
+        ``(out_dicts, flat_dict_or_None)`` — the outgoing factors (aligned
+        with :attr:`out_partition`) and, at materialized nodes, the
+        flattened delta in the node's key order — or ``(None, None)`` when
+        a factor cancelled to empty (the delta is the ring zero from here
+        on up).
+        """
+        return self._fn(fdatas, cache)
+
+
+def compile_factor_program(
+    node,
+    source,
+    partition: Sequence[Tuple[str, ...]],
+    targets: Sequence[Relation],
+    materialized: bool,
+    query,
+    group_aware: bool = True,
+) -> FactorProgram:
+    """Compile the factorized trigger for one node, source, and partition.
+
+    ``partition`` is the tuple of factor schemas of the incoming rank-1
+    term (pairwise disjoint, covering the source child's keys);
+    ``targets`` the stored sibling relations in the interpreter's merge
+    order (children in child order, the entering child skipped, then
+    hosted indicator projections).  Mirrors
+    :meth:`FIVMEngine._propagate_factored` op for op; secondary indexes
+    the probes need are registered here, at compile time.
+    """
+    kind, idx = source
+    if kind != "child":
+        raise ValueError("factorized deltas always enter through a child")
+    if not partition:
+        raise ValueError("a factor program needs at least one factor")
+    ring = query.ring
+    lift_table = query.lifting.table()
+    droppable = set(node.marginalized) - set(node.keys)
+
+    env = {
+        "_mul": ring.mul,
+        "_rsum": ring.sum,
+        "_iszero": ring.is_zero,
+        "_zero": ring.zero,
+        "_NONE": (None, None),
+        "_finalize": _make_finalize(ring.sum, ring.is_zero),
+        "_site": _cache_site,
+    }
+    lines: List[str] = ["def _factor(_fs, _cache):"]
+
+    def emit(depth: int, text: str) -> None:
+        lines.append("    " * depth + text)
+
+    lift_names: Dict[str, str] = {}
+
+    def lift_ref(var: str) -> str:
+        name = lift_names.get(var)
+        if name is None:
+            name = f"_lift{len(lift_names)}"
+            lift_names[var] = name
+            env[name] = lift_table[var]
+        return name
+
+    #: One entry per live factor: [schema, runtime expression, pristine
+    #: sibling relation or None].  A "pristine" slot aliases a stored
+    #: sibling's primary map untouched — its collapses are cacheable.
+    slots: List[list] = [
+        [tuple(schema), f"_fs[{i}]", None] for i, schema in enumerate(partition)
+    ]
+    fused_away: Set[str] = set()
+    op = 0
+
+    # ---- sibling merges (the fused join_project loop nests) ----
+    for ti, target in enumerate(targets):
+        ts = target.schema
+        ts_set = set(ts)
+        sharing = [i for i, slot in enumerate(slots) if ts_set & set(slot[0])]
+        if not sharing:
+            env[f"_sd{ti}"] = target._data
+            slots.append([ts, f"_sd{ti}", target])
+            continue
+        n = op
+        op += 1
+        pending: Set[str] = set()
+        for later in targets[ti + 1:]:
+            pending |= set(later.schema)
+        rest = [i for i in range(len(slots)) if i not in set(sharing)]
+        rest_attrs = {a for i in rest for a in slots[i][0]}
+        shared_attrs = {a for i in sharing for a in slots[i][0]}
+        merged_schema: List[str] = list(ts)
+        for i in sharing:
+            merged_schema += [a for a in slots[i][0] if a not in merged_schema]
+        droppable_now = droppable - pending
+        drop = tuple(
+            v for v in merged_schema
+            if v in droppable_now and v not in rest_attrs
+        )
+        out_schema = tuple(a for a in merged_schema if a not in drop)
+        fused_away.update(drop)
+
+        probe = tuple(a for a in ts if a in shared_attrs)
+        extends = tuple(a for a in ts if a not in shared_attrs)
+        dropped_extends = tuple(a for a in extends if a in drop)
+        aggregated = bool(
+            group_aware and extends and len(dropped_extends) == len(extends)
+        )
+        ext_lifts = [
+            (ts.index(a), a) for a in dropped_extends
+            if lift_table.get(a) is not None
+        ]
+        cached = aggregated and bool(ext_lifts)
+
+        if probe != ts:
+            target.register_index(probe)
+            index_entry = target._indexes[probe]
+            env[f"_bk{n}"] = index_entry[1]
+            if aggregated and not cached:
+                env[f"_ss{n}"] = index_entry[2]
+        if probe == ts:
+            env[f"_sd{n}x"] = target._data
+        if cached:
+            env[f"_sid{n}"] = object()
+            emit(1, f"_cs{n} = _site(_cache, {target.name!r}, _sid{n})")
+
+        registers: Dict[str, str] = {}
+
+        def reg(attr: str, registers=registers, n=n) -> str:
+            name = registers.get(attr)
+            if name is None:
+                name = f"r{n}_{len(registers)}"
+                registers[attr] = name
+            return name
+
+        needed = set(probe) | set(out_schema) | {
+            v for v in drop if lift_table.get(v) is not None
+        }
+
+        emit(1, f"_m{n} = {{}}")
+        depth = 1
+        for j, si in enumerate(sharing):
+            schema_i, expr_i, _ = slots[si]
+            kv = f"_k{n}_{j}"
+            emit(depth, f"for {kv}, _p{n}_{j} in {expr_i}.items():")
+            depth += 1
+            for pos, attr in enumerate(schema_i):
+                if attr in needed:
+                    emit(depth, f"{reg(attr)} = {kv}[{pos}]")
+        subkey = _tuple_display([registers[a] for a in probe])
+
+        if not extends:
+            # Full-key probe: the stored payload is the whole match.
+            emit(depth, f"_t{n} = _sd{n}x.get({subkey})")
+            emit(depth, f"if _t{n} is not None:")
+            depth += 1
+            sib_pay = f"_t{n}"
+        elif aggregated and not cached:
+            # Group-aware probe: the index bucket sum is the contribution
+            # (no lifts on the summed-out attributes).  Sums may hold
+            # cancelled zeros; test them.
+            emit(depth, f"_t{n} = _ss{n}.get({subkey})")
+            emit(depth, f"if _t{n} is not None and not _iszero(_t{n}):")
+            depth += 1
+            sib_pay = f"_t{n}"
+        elif cached:
+            # Lifted bucket collapse, memoized in the shared probe cache:
+            # later terms (and later relations in a batch) probing the
+            # same subkey reuse the folded sum.
+            emit(depth, f"_sk{n} = {subkey}")
+            emit(depth, f"_t{n} = _cs{n}.get(_sk{n})")
+            emit(depth, f"if _t{n} is None:")
+            emit(depth + 1, f"_b{n} = _bk{n}.get(_sk{n})")
+            emit(depth + 1, f"if _b{n} is None:")
+            emit(depth + 2, f"_t{n} = _zero")
+            emit(depth + 1, "else:")
+            emit(depth + 2, f"_acc{n} = []")
+            emit(depth + 2, f"for _tk{n}, _tp{n} in _b{n}.items():")
+            first = True
+            for pos, var in ext_lifts:
+                term = f"{lift_ref(var)}(_tk{n}[{pos}])"
+                if first:
+                    emit(depth + 3, f"_lv{n} = {term}")
+                    first = False
+                else:
+                    emit(depth + 3, f"_lv{n} = _mul(_lv{n}, {term})")
+            emit(depth + 3, f"_acc{n}.append(_mul(_tp{n}, _lv{n}))")
+            emit(depth + 2, f"_t{n} = _rsum(_acc{n})")
+            emit(depth + 1, f"_cs{n}[_sk{n}] = _t{n}")
+            emit(depth, f"if not _iszero(_t{n}):")
+            depth += 1
+            sib_pay = f"_t{n}"
+        else:
+            emit(depth, f"_b{n} = _bk{n}.get({subkey})")
+            emit(depth, f"if _b{n}:")
+            depth += 1
+            emit(depth, f"for _tk{n}, _tp{n} in _b{n}.items():")
+            depth += 1
+            ext_set = set(extends)
+            for pos, attr in enumerate(ts):
+                if attr in ext_set and attr in needed:
+                    emit(depth, f"{reg(attr)} = _tk{n}[{pos}]")
+            sib_pay = f"_tp{n}"
+
+        pays = [f"_p{n}_{j}" for j in range(len(sharing))] + [sib_pay]
+        emit(depth, f"_v{n} = {pays[0]}")
+        for pay in pays[1:]:
+            emit(depth, f"_v{n} = _mul(_v{n}, {pay})")
+        for var in drop:
+            if lift_table.get(var) is None or var not in registers:
+                continue  # aggregated extends fold their lifts into _t
+            emit(depth, f"_v{n} = _mul(_v{n}, {lift_ref(var)}({registers[var]}))")
+        emit(depth, f"_ok{n} = {_tuple_display([registers[a] for a in out_schema])}")
+        emit(depth, f"_cur{n} = _m{n}.get(_ok{n})")
+        emit(depth, f"if _cur{n} is None:")
+        emit(depth + 1, f"_m{n}[_ok{n}] = [_v{n}]")
+        emit(depth, "else:")
+        emit(depth + 1, f"_cur{n}.append(_v{n})")
+        emit(1, f"_m{n} = _finalize(_m{n})")
+        emit(1, f"if not _m{n}: return _NONE")
+        slots = [slots[i] for i in rest] + [[out_schema, f"_m{n}", None]]
+
+    # ---- leftover marginalizations, fused per factor ----
+    marg_vars: Dict[int, List[str]] = {}
+    for var in node.marginalized:
+        if var in fused_away:
+            continue
+        for i, slot in enumerate(slots):
+            if var in slot[0]:
+                marg_vars.setdefault(i, []).append(var)
+                break
+        else:
+            raise RuntimeError(
+                f"variable {var} not found in any delta factor"
+            )
+    for i, vars_i in marg_vars.items():
+        n = op
+        op += 1
+        schema_i, expr_i, pristine = slots[i]
+        var_set = set(vars_i)
+        out_schema = tuple(a for a in schema_i if a not in var_set)
+        lifted = [
+            (schema_i.index(v), v) for v in vars_i
+            if lift_table.get(v) is not None
+        ]
+        base = 1
+        if pristine is not None:
+            # A whole-sibling collapse: the result depends only on the
+            # stored view, so it is memoized per view state.
+            env[f"_sid{n}"] = object()
+            emit(1, f"_cs{n} = _site(_cache, {pristine.name!r}, _sid{n})")
+            emit(1, f"_g{n} = _cs{n}.get(0)")
+            emit(1, f"if _g{n} is None:")
+            base = 2
+        emit(base, f"_g{n} = {{}}")
+        emit(base, f"for _k{n}, _p{n} in {expr_i}.items():")
+        emit(base + 1, f"_v{n} = _p{n}")
+        for pos, var in lifted:
+            emit(base + 1, f"_v{n} = _mul(_v{n}, {lift_ref(var)}(_k{n}[{pos}]))")
+        key = _tuple_display(
+            [f"_k{n}[{schema_i.index(a)}]" for a in out_schema]
+        )
+        emit(base + 1, f"_ok{n} = {key}")
+        emit(base + 1, f"_cur{n} = _g{n}.get(_ok{n})")
+        emit(base + 1, f"if _cur{n} is None:")
+        emit(base + 2, f"_g{n}[_ok{n}] = [_v{n}]")
+        emit(base + 1, "else:")
+        emit(base + 2, f"_cur{n}.append(_v{n})")
+        emit(base, f"_g{n} = _finalize(_g{n})")
+        if pristine is not None:
+            emit(base, f"_cs{n}[0] = _g{n}")
+        emit(1, f"if not _g{n}: return _NONE")
+        slots[i] = [out_schema, f"_g{n}", None]
+
+    # ---- flatten at materialized nodes ----
+    flat_expr = "None"
+    if materialized:
+        covered: Set[str] = set()
+        for slot in slots:
+            covered |= set(slot[0])
+        if covered != set(node.keys):
+            raise RuntimeError(
+                f"flattened delta schema {sorted(covered)} != view keys "
+                f"{node.keys} at {node.name}"
+            )
+        n = op
+        op += 1
+        if len(slots) == 1 and tuple(slots[0][0]) == tuple(node.keys):
+            emit(1, f"_fl{n} = dict({slots[0][1]})")
+        else:
+            key_src: Dict[str, str] = {}
+            emit(1, f"_fl{n} = {{}}")
+            depth = 1
+            for j, slot in enumerate(slots):
+                kv = f"_fk{n}_{j}"
+                emit(depth, f"for {kv}, _fp{n}_{j} in {slot[1]}.items():")
+                depth += 1
+                for pos, attr in enumerate(slot[0]):
+                    key_src[attr] = f"{kv}[{pos}]"
+            pays = [f"_fp{n}_{j}" for j in range(len(slots))]
+            emit(depth, f"_fv{n} = {pays[0]}")
+            for pay in pays[1:]:
+                emit(depth, f"_fv{n} = _mul(_fv{n}, {pay})")
+            # Factor schemas are disjoint, so each combination lands on a
+            # distinct key — but a product of non-zeros can still cancel
+            # (truncating rings), hence the per-entry test.
+            emit(depth, f"if not _iszero(_fv{n}):")
+            out_key = _tuple_display([key_src[a] for a in node.keys])
+            emit(depth + 1, f"_fl{n}[{out_key}] = _fv{n}")
+        flat_expr = f"_fl{n}"
+
+    outs = ", ".join(slot[1] for slot in slots)
+    if len(slots) == 1:
+        outs += ","
+    emit(1, f"return (({outs}), {flat_expr})")
+
+    source_text = "\n".join(lines) + "\n"
+    code = compile(
+        source_text, f"<factor-program {node.name}:{kind}{idx}>", "exec"
+    )
+    exec(code, env)
+    return FactorProgram(
+        node.name,
+        tuple(tuple(slot[0]) for slot in slots),
+        ring,
+        env["_factor"],
+        source_text,
+    )

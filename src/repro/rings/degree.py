@@ -84,6 +84,29 @@ class DegreeRing(Ring):
     def is_zero(self, a: Poly) -> bool:
         return all(abs(c) <= self.tolerance for c in a.values())
 
+    def sum(self, items) -> Poly:
+        """Stacked sum: one shared coefficient accumulator for the batch.
+
+        Bit-for-bit the base class's pairwise :meth:`add` fold — including
+        the per-step tolerance truncation, so sub-tolerance contributions
+        are dropped at exactly the same points — but a batch of n
+        polynomials costs one dict-merge pass instead of n-1 intermediate
+        dict copies: the degree-ring analogue of the cofactor ring's
+        vectorized sum, feeding the deferred per-key accumulation of the
+        compiled triggers.
+        """
+        out: Poly = {}
+        get = out.get
+        tolerance = self.tolerance
+        for poly in items:
+            for monomial, coeff in poly.items():
+                merged = get(monomial, 0.0) + coeff
+                if abs(merged) <= tolerance:
+                    out.pop(monomial, None)
+                else:
+                    out[monomial] = merged
+        return out
+
     def from_int(self, n: int) -> Poly:
         return {(): float(n)} if n else {}
 

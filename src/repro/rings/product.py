@@ -52,5 +52,22 @@ class ProductRing(Ring):
     def is_zero(self, a: tuple) -> bool:
         return all(r.is_zero(x) for r, x in zip(self.rings, a))
 
+    def sum(self, items) -> tuple:
+        """Column-wise sum: each component ring folds its own column once.
+
+        Transposing the batch lets component rings with vectorized sums
+        (cofactor, degree) fold their column in one shot instead of per
+        pairwise ``add`` — and avoids allocating one intermediate tuple per
+        element even for plain scalar components.
+        """
+        batch = items if isinstance(items, list) else list(items)
+        if not batch:
+            return self._zero
+        if len(batch) == 1:
+            return batch[0]
+        return tuple(
+            r.sum(column) for r, column in zip(self.rings, zip(*batch))
+        )
+
     def from_int(self, n: int) -> tuple:
         return tuple(r.from_int(n) for r in self.rings)

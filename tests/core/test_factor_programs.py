@@ -1,0 +1,258 @@
+"""Targeted tests for compiled factor slot programs (the factorized path).
+
+The randomized differential suite (``test_differential_random.py``) sweeps
+broad behavior; these tests pin the *specialized probe shapes* the compiler
+emits — group-aware bucket-sum merges, cached lifted collapses, pristine
+whole-sibling collapses — on tree shapes constructed to trigger each one,
+plus the probe-cache sharing/invalidation contract.
+"""
+
+import random
+
+import pytest
+
+from repro.core import FIVMEngine, FactorizedUpdate, Query, VariableOrder
+from repro.core.plan_exec import compile_factor_program
+from repro.core.view_tree import ViewNode
+from repro.data import Relation
+from repro.rings import DegreeRing, INT_RING, Lifting
+
+from tests.conftest import random_delta
+
+#: A chain-collapsed node joining two leaves: V@W marginalizes (V, W) with
+#: children [R(A,V), S(V,W)] — so for updates to R the sibling S has probe
+#: attrs (V,) and extend attrs (W,) that are dropped *inside* the merge.
+COLLAPSE_SCHEMAS = {"R": ("A", "V"), "S": ("V", "W")}
+
+
+def collapse_order():
+    return VariableOrder.from_spec(("A", [("W", ["V"])]))
+
+
+def seed_s(engine):
+    engine.apply_update(Relation(
+        "S", ("V", "W"), engine.query.ring,
+        {(1, 5): engine.query.ring.from_int(1),
+         (1, 6): engine.query.ring.from_int(2),
+         (2, 5): engine.query.ring.from_int(1)},
+    ))
+
+
+def rank_one_r(ring, a_data, v_data):
+    return FactorizedUpdate.rank_one("R", [
+        Relation("uA", ("A",), ring, {k: ring.from_int(c) for k, c in a_data.items()}),
+        Relation("uV", ("V",), ring, {k: ring.from_int(c) for k, c in v_data.items()}),
+    ])
+
+
+def drive_alternating(make_engine, steps=25, seed=0xFAC):
+    """Alternate flat S updates and factorized R updates through compiled
+    and interpreted engines; sibling views change mid-stream, so stale
+    probe-cache entries would surface immediately."""
+    rng = random.Random(seed)
+    compiled = make_engine(True)
+    interp = make_engine(False)
+    ring = compiled.query.ring
+    for step in range(steps):
+        if step % 2 == 0:
+            delta = random_delta(rng, "S", ("V", "W"), ring, domain=3)
+            root_c = compiled.apply_update(delta.copy())
+            root_i = interp.apply_update(delta.copy())
+        else:
+            update = rank_one_r(
+                ring,
+                {(rng.randint(0, 2),): rng.choice([1, -1, 2])},
+                {(rng.randint(0, 2),): 1, (rng.randint(0, 2),): 1},
+            )
+            root_c = compiled.apply_factorized_update(update)
+            root_i = interp.apply_factorized_update(update_copy(update, ring))
+        assert root_c.same_as(root_i.rename({}, name=root_c.name)), step
+        assert compiled.result().same_as(interp.result()), step
+    for name, contents in compiled.views.items():
+        assert contents.same_as(interp.views[name]), name
+    return compiled
+
+
+def update_copy(update, ring):
+    return FactorizedUpdate(
+        update.relation,
+        [[f.copy() for f in term] for term in update.terms],
+        ring=ring,
+    )
+
+
+class TestAggregatedMerges:
+    def test_bucket_sum_merge_compiled_and_correct(self):
+        """No lifts: the dropped sibling extends read the index bucket sum
+        (one ``_ss`` lookup replaces iterating the bucket)."""
+        def make(compiled):
+            q = Query("c", COLLAPSE_SCHEMAS, free=("A",), ring=INT_RING)
+            return FIVMEngine(q, collapse_order(), compiled=compiled)
+
+        compiled = drive_alternating(make)
+        sources = [p.source_text for p in compiled._factor_programs.values()]
+        assert any("= _ss" in src for src in sources), \
+            "expected a group-aware bucket-sum merge"
+
+    def test_cached_lifted_merge_compiled_and_correct(self):
+        """A lift on the dropped extend forces the folded-sum probe-cache
+        site (index sums cannot apply lifts)."""
+        def make(compiled):
+            ring = DegreeRing(2)
+            lifting = Lifting(ring, {"V": ring.lift(0), "W": ring.lift(1)})
+            q = Query(
+                "c", COLLAPSE_SCHEMAS, free=("A",), ring=ring,
+                lifting=lifting,
+            )
+            return FIVMEngine(q, collapse_order(), compiled=compiled)
+
+        compiled = drive_alternating(make)
+        sources = [p.source_text for p in compiled._factor_programs.values()]
+        assert any("_site(_cache" in src for src in sources), \
+            "expected a cached lifted bucket collapse"
+
+    def test_group_aware_off_disables_aggregation_but_agrees(self):
+        def make(compiled):
+            q = Query("c", COLLAPSE_SCHEMAS, free=("A",), ring=INT_RING)
+            return FIVMEngine(
+                q, collapse_order(), compiled=compiled, group_aware=False
+            )
+
+        compiled = drive_alternating(make)
+        for program in compiled._factor_programs.values():
+            assert "= _ss" not in program.source_text
+            assert "_site(_cache" not in program.source_text
+
+
+class TestProbeCacheContract:
+    def _engine(self):
+        ring = DegreeRing(2)
+        lifting = Lifting(ring, {"V": ring.lift(0), "W": ring.lift(1)})
+        q = Query(
+            "c", COLLAPSE_SCHEMAS, free=("A",), ring=ring, lifting=lifting
+        )
+        return FIVMEngine(q, collapse_order())
+
+    def test_cache_fills_on_factorized_and_invalidates_on_sibling_write(self):
+        engine = self._engine()
+        ring = engine.query.ring
+        seed_s(engine)
+        engine.apply_factorized_update(
+            rank_one_r(ring, {(7,): 1}, {(1,): 1, (2,): 1})
+        )
+        sibling = engine.tree.leaves["S"].name
+        assert sibling in engine._probe_cache, \
+            "lifted collapse results must be memoized per sibling view"
+        cached = engine._probe_cache[sibling]
+        assert any(site for site in cached.values())
+        # A write to the sibling view must drop its entries...
+        engine.apply_update(Relation(
+            "S", ("V", "W"), ring, {(1, 5): ring.from_int(1)}
+        ))
+        assert sibling not in engine._probe_cache
+        # ...and the next factorized update recomputes correctly.
+        interp = self._engine()
+        interp.compiled = False
+        seed_s(interp)
+        interp.apply_factorized_update(
+            rank_one_r(ring, {(7,): 1}, {(1,): 1, (2,): 1})
+        )
+        interp.apply_update(Relation(
+            "S", ("V", "W"), ring, {(1, 5): ring.from_int(1)}
+        ))
+        update = rank_one_r(ring, {(8,): 1}, {(1,): 1})
+        root_c = engine.apply_factorized_update(update)
+        root_i = interp.apply_factorized_update(
+            update_copy(update, ring)
+        )
+        assert root_c.same_as(root_i.rename({}, name=root_c.name))
+        assert engine.result().same_as(interp.result())
+
+    def test_cache_shared_across_terms(self):
+        """Rank-2 terms probing the same subkey reuse the folded sum: the
+        per-site memo holds one entry per distinct subkey, not per term."""
+        engine = self._engine()
+        ring = engine.query.ring
+        seed_s(engine)
+        update = FactorizedUpdate("R", [
+            rank_one_r(ring, {(7,): 1}, {(1,): 1}).terms[0],
+            rank_one_r(ring, {(8,): 1}, {(1,): 1}).terms[0],
+        ])
+        engine.apply_factorized_update(update)
+        sibling = engine.tree.leaves["S"].name
+        sites = engine._probe_cache[sibling]
+        per_site_keys = [set(entries) for entries in sites.values()]
+        assert any((1,) in keys for keys in per_site_keys)
+
+    def test_batch_mixing_flat_and_factorized_items(self):
+        """apply_batch accepts FactorizedUpdate items; state and total equal
+        the sequential application."""
+        engine = self._engine()
+        sequential = self._engine()
+        ring = engine.query.ring
+        seed_s(engine)
+        seed_s(sequential)
+        flat = Relation("S", ("V", "W"), ring, {(2, 6): ring.from_int(1)})
+        fact = rank_one_r(ring, {(7,): 1}, {(1,): 1, (2,): -1})
+        total = engine.apply_batch(
+            [flat.copy(), update_copy(fact, ring)]
+        )
+        expected = sequential.apply_update(flat.copy()).union(
+            sequential.apply_factorized_update(update_copy(fact, ring))
+        )
+        assert engine.result().same_as(sequential.result())
+        assert total.same_as(expected.rename({}, name=total.name))
+
+
+class TestPristineSiblingCollapse:
+    def test_fabricated_disjoint_sibling_is_cached_whole(self):
+        """A sibling sharing no attributes with the term is appended whole;
+        when all its variables are marginalized at the node, the compiled
+        program collapses it once and memoizes the result per view state."""
+        ring = DegreeRing(1)
+        lifting = Lifting(ring, {"B": ring.lift(0)})
+        query = Query(
+            "x", {"R": ("A",), "S": ("B",)}, free=("A",), ring=ring,
+            lifting=lifting,
+        )
+        entering = ViewNode("R", ("A",), frozenset({"R"}), [], leaf_of="R")
+        sibling_node = ViewNode("S", ("B",), frozenset({"S"}), [], leaf_of="S")
+        node = ViewNode(
+            "top", ("A",), frozenset({"R", "S"}),
+            [entering, sibling_node], marginalized=("B",), at_vars=("top",),
+        )
+        sibling = Relation(
+            "S", ("B",), ring,
+            {(2,): ring.from_int(1), (3,): ring.from_int(2)},
+        )
+        program = compile_factor_program(
+            node, ("child", 0), (("A",),), [sibling], True, query
+        )
+        assert "_site(_cache" in program.source_text
+        assert program.out_partition == ((), ("A",)) or \
+            program.out_partition == (("A",), ())
+        cache = {}
+        fdatas = ({(9,): ring.from_int(1)},)
+        outs, flat = program.run(fdatas, cache)
+        # Expected: sum over S of payload * lift(B) = 1*l(2) + 2*l(3).
+        expected = ring.add(
+            ring.mul(ring.from_int(1), ring.lift(0)(2)),
+            ring.mul(ring.from_int(2), ring.lift(0)(3)),
+        )
+        assert flat is not None
+        assert ring.eq(flat[(9,)], expected)
+        assert cache["S"], "collapse must be memoized under the view name"
+        # Second term: cache hit (mutate the sibling WITHOUT invalidating —
+        # the stale value proves the memo was used; the engine pops the
+        # view's entries on every absorb, which restores freshness).
+        sibling._data[(4,)] = ring.from_int(5)
+        outs2, flat2 = program.run(({(9,): ring.from_int(1)},), cache)
+        assert ring.eq(flat2[(9,)], expected)
+        # After invalidation (what FIVMEngine._invalidate does) the program
+        # re-reads the sibling.
+        cache.pop("S")
+        outs3, flat3 = program.run(({(9,): ring.from_int(1)},), cache)
+        expected3 = ring.add(
+            expected, ring.mul(ring.from_int(5), ring.lift(0)(4))
+        )
+        assert ring.eq(flat3[(9,)], expected3)

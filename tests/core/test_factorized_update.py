@@ -56,9 +56,42 @@ class TestFactorizedUpdateContainer:
         with pytest.raises(SchemaError):
             update.flatten(("A", "B"))
 
-    def test_empty_terms_rejected(self):
+    def test_rank_zero_flattens_to_ring_zero(self):
+        """An empty term list is the additive identity, not an error: it
+        flattens to the empty relation over any schema (the regression for
+        the old divergence from a no-op apply_update)."""
+        update = FactorizedUpdate("R", [], ring=INT_RING)
+        assert update.rank == 0
+        assert update.attributes == frozenset()
+        flat = update.flatten(("A", "B"))
+        assert flat.is_empty
+        assert flat.schema == ("A", "B")
+
+    def test_rank_zero_without_ring_cannot_flatten(self):
+        update = FactorizedUpdate("R", [])
         with pytest.raises(ValueError):
-            FactorizedUpdate("R", [])
+            update.flatten(("A",))
+
+    def test_all_empty_terms_without_ring_cannot_flatten(self):
+        """terms=[[]] leaves no factor to infer the ring from: flatten must
+        raise the clear ValueError, not crash on ring=None."""
+        update = FactorizedUpdate("R", [[]])
+        assert update.attributes == frozenset()
+        with pytest.raises(ValueError):
+            update.flatten(())
+
+    def test_empty_term_with_ring_is_the_unit(self):
+        update = FactorizedUpdate("R", [[]], ring=INT_RING)
+        flat = update.flatten(())
+        assert dict(flat.items()) == {(): 1}
+
+    def test_empty_factor_term_flattens_empty(self):
+        """A term containing an empty factor contributes nothing."""
+        update = FactorizedUpdate.rank_one(
+            "R",
+            [unary("u", "A", {(1,): 1}), Relation("v", ("B",), INT_RING)],
+        )
+        assert update.flatten(("A", "B")).is_empty
 
     def test_cumulative_size_example51(self):
         """Example 5.1: nm keys decompose into n + m values."""
@@ -109,6 +142,36 @@ class TestDecompose:
         update = decompose(r)
         assert update.rank == 1
         assert update.flatten(("A",)).same_as(r)
+
+    def test_empty_delta_decomposes_to_rank_zero(self):
+        empty = Relation("R", ("A", "B"), INT_RING)
+        update = decompose(empty)
+        assert update.rank == 0
+        assert update.cumulative_size() == 0
+        assert update.flatten(("A", "B")).is_empty
+
+    def test_repeated_keys_accumulate_before_decomposition(self):
+        """from_tuples accumulates repeated rows; decompose must factor the
+        *accumulated* payloads, and the flatten round-trip must agree."""
+        rows = [(1, 5), (1, 5), (2, 5), (1, 6), (1, 6), (2, 6)]
+        delta = Relation.from_tuples("R", ("A", "B"), INT_RING, rows)
+        assert delta.payload((1, 5)) == 2
+        update = decompose(delta)
+        assert update.rank == 1
+        assert len(update.terms[0]) == 2  # {A: 2,1} x {B: 1,1}
+        assert update.flatten(("A", "B")).same_as(delta)
+
+    def test_flatten_round_trip_random(self, rng):
+        """flatten(decompose(R)) == R for random small relations (both the
+        factorizing and the non-factorizing kind)."""
+        for trial in range(25):
+            data = {}
+            for _ in range(rng.randint(0, 6)):
+                key = (rng.randint(0, 2), rng.randint(0, 2))
+                data[key] = data.get(key, 0) + rng.choice([1, -1, 2])
+            delta = Relation("R", ("A", "B"), INT_RING, data)
+            update = decompose(delta)
+            assert update.flatten(("A", "B")).same_as(delta), trial
 
 
 class TestEnginePropagation:
@@ -192,6 +255,64 @@ class TestEnginePropagation:
         stored = engine.views[leaf_name]
         assert stored.payload((1, 7)) == 2
         assert stored.payload((2, 7)) == 2
+
+    def test_rank_zero_update_is_noop(self):
+        """Engine regression for the empty-term-list fix: rank-0 must equal
+        a no-op apply_update — zero root delta, untouched state."""
+        q, order, factored, listing = self._engines()
+        before_sizes = factored.view_sizes()
+        root_delta = factored.apply_factorized_update(
+            FactorizedUpdate("S", [], ring=INT_RING)
+        )
+        assert root_delta.is_empty
+        assert root_delta.schema == factored.result().schema
+        assert factored.view_sizes() == before_sizes
+        assert factored.result().same_as(listing.result())
+
+    def test_rank_zero_interpreted_matches(self):
+        q = Query("Q", PAPER_SCHEMAS, ring=INT_RING)
+        engine = FIVMEngine(q, paper_variable_order(), compiled=False)
+        root_delta = engine.apply_factorized_update(
+            FactorizedUpdate("S", [], ring=INT_RING)
+        )
+        assert root_delta.is_empty
+
+    def test_term_cancelling_to_zero_mid_propagation(self):
+        """Opposite-sign terms cancel: state and root delta equal a no-op,
+        and the stored base ends exactly where it started."""
+        q, order, factored, listing = self._engines()
+        up = [
+            unary("uA", "A", {("a1",): 1}),
+            unary("uC", "C", {("c1",): 1}),
+            unary("uE", "E", {("e1",): 1}),
+        ]
+        down = [
+            unary("uA", "A", {("a1",): -1}),
+            unary("uC", "C", {("c1",): 1}),
+            unary("uE", "E", {("e1",): 1}),
+        ]
+        update = FactorizedUpdate("S", [up, down])
+        root_delta = factored.apply_factorized_update(update)
+        assert root_delta.is_empty
+        assert factored.result().same_as(listing.result())
+        for name, contents in factored.views.items():
+            assert contents.same_as(listing.views[name]), name
+
+    def test_factor_cancelled_inside_merge_propagates_zero(self):
+        """A factor whose contributions cancel against a sibling mid-path
+        (payload sums to zero inside the fused merge) yields the zero root
+        delta without corrupting higher views."""
+        q, order, factored, listing = self._engines()
+        update = FactorizedUpdate.rank_one("S", [
+            unary("uA", "A", {("a1",): 1, ("a2",): -1}),
+            unary("uC", "C", {("c9",): 1}),  # c9 matches no T tuple
+            unary("uE", "E", {("e1",): 1}),
+        ])
+        factored.apply_factorized_update(update)
+        listing.apply_update(update.flatten(("A", "C", "E"), name="S"))
+        assert factored.result().same_as(listing.result())
+        for name, contents in factored.views.items():
+            assert contents.same_as(listing.views[name]), name
 
     def test_non_commutative_ring_rejected(self):
         ring = SquareMatrixRing(2)
