@@ -80,7 +80,6 @@ def test_ablation_group_aware_joins(benchmark):
     subkey — exactly the factorized result representation, where each chain
     view keeps one key per base row.  (On fully pre-aggregated COUNT views
     buckets are singletons and the probes are equivalent.)"""
-    from repro.apps import ConjunctiveQuery
     from repro.core.view_tree import build_view_tree
     from repro.apps.conjunctive import _factorize_tree
 

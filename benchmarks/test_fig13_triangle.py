@@ -67,11 +67,7 @@ def test_fig13_triangle_cofactor(benchmark):
 
         # ONE scenario: S and T static (preloaded), only R streams.
         q_one = cofactor_query("tri_one", workload.schemas, ("A", "B", "C"))
-        static_db = workload.empty_database(q_one.ring)
-        for rel in ("S", "T"):
-            target = static_db.relation(rel)
-            for row in workload.tables[rel]:
-                target.add(row, q_one.ring.one)
+        static_db = workload.preloaded_database(q_one.ring, streaming=["R"])
         fivm_one = FIVMEngine(
             q_one, workload.variable_order, updatable=["R"], db=static_db
         )

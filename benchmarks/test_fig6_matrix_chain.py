@@ -31,7 +31,6 @@ from repro.datasets.matrices import (
     rank_r_update,
     row_update,
 )
-from repro.rings import REAL_RING
 
 from benchmarks.conftest import SCALE, report
 

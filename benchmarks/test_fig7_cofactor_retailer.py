@@ -13,7 +13,7 @@ paper's four panels.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.apps import CofactorModel
 from repro.baselines import (
@@ -106,12 +106,9 @@ def test_fig7_retailer_cofactor(benchmark):
 
         # ONE variants: only the largest relation streams; dimension tables
         # are preloaded as static.
-        static_db = workload.empty_database(fivm.query.ring)
-        for rel in workload.schemas:
-            if rel != "Inventory":
-                target = static_db.relation(rel)
-                for row in workload.tables[rel]:
-                    target.add(row, fivm.query.ring.one)
+        static_db = workload.preloaded_database(
+            fivm.query.ring, streaming=["Inventory"]
+        )
         fivm_one = CofactorModel(
             "retailer_one", workload.schemas, numeric,
             order=workload.variable_order, updatable=["Inventory"],

@@ -13,7 +13,7 @@ from repro.apps import CofactorModel
 from repro.baselines import RecursiveIVM, SQLOptCofactor
 from repro.apps.regression import cofactor_query
 from repro.bench import format_table
-from repro.core import FIVMEngine, Query
+from repro.core import Query
 from repro.datasets import housing, retailer
 from repro.rings import INT_RING
 

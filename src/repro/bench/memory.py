@@ -78,5 +78,13 @@ def _stored_relations(strategy) -> Iterable[Relation]:
 
 
 def strategy_scalars(strategy) -> int:
-    """Total logical scalars resident in a maintenance strategy."""
+    """Total logical scalars resident in a maintenance strategy.
+
+    Strategies whose state lives elsewhere (the sharded engine's worker
+    processes) expose a ``logical_scalars()`` hook instead of resident
+    relations; it wins when present.
+    """
+    custom = getattr(strategy, "logical_scalars", None)
+    if callable(custom):
+        return custom()
     return sum(relation_scalars(rel) for rel in _stored_relations(strategy))

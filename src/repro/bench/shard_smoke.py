@@ -1,0 +1,136 @@
+"""Shard-scaling smoke: the sharded engine on a tiny retailer stream.
+
+The CI companion of ``benchmarks/test_fig_shard_scaling.py``: small enough
+for every push, loud enough to catch a broken merge or a parallel-path
+collapse.  Two guards:
+
+* **merge equality** — the S-shard run's maintained cofactor result must
+  equal the single-engine run on the same stream (always enforced; this is
+  the ring-merge soundness contract, independent of hardware);
+* **scaling** — with the multiprocessing executor, S=4 must reach at least
+  ``MIN_SPEEDUP`` × the S=1 throughput.  Parallel speedup needs parallel
+  hardware, so this gate is enforced only when the host has ≥ 4 CPUs (the
+  JSON always records the measured ratio and the core count, and the
+  bench-regression ratchet compares ratios across runs with a tolerance
+  band — see :mod:`repro.bench.regression`).
+
+The workload is the fig7 retailer cofactor scenario in its ONE form:
+dimension tables preloaded, the ``Inventory`` fact relation streaming —
+every update hash-routes on ``locn`` (the variable-order root), so the
+shards progress independently.
+
+Run as ``PYTHONPATH=src python -m repro.bench.shard_smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.apps.regression import cofactor_query
+from repro.bench.harness import run_stream
+from repro.core.sharded import ShardedFIVMEngine
+from repro.datasets import retailer
+from repro.datasets.streams import single_relation_stream
+
+__all__ = ["run_shard_smoke", "main"]
+
+#: S=4 over S=1 throughput floor, enforced on hosts with >= 4 CPUs.
+MIN_SPEEDUP = 1.5
+
+#: Core count below which the scaling gate is recorded but not enforced.
+MIN_CPUS_TO_ENFORCE = 4
+
+
+def run_shard_smoke(
+    scale: float = 0.06,
+    batch_size: int = 12,
+    group: int = 16,
+    shard_counts=(1, 4),
+) -> dict:
+    """Measure sharded throughput at each shard count on one tiny stream.
+
+    Returns the machine-readable report (shape documented in
+    ``tests/README.md``); ``ok`` folds both guards together.
+    """
+    workload = retailer.generate(scale=scale, seed=7)
+    query = cofactor_query(
+        "shard_smoke", workload.schemas, workload.numeric_variables
+    )
+    ring = query.ring
+    static_db = workload.preloaded_database(ring, streaming=["Inventory"])
+    stream = single_relation_stream(
+        workload.schemas, workload.tables, "Inventory", batch_size
+    )
+
+    throughput: dict = {}
+    totals: dict = {}
+    executor_used = None
+    for shards in shard_counts:
+        engine = ShardedFIVMEngine(
+            query,
+            order=workload.variable_order,
+            shards=shards,
+            updatable=["Inventory"],
+            db=static_db,
+            executor="process",
+        )
+        try:
+            executor_used = engine.executor
+            result = run_stream(
+                f"S={shards}", engine, stream, ring,
+                checkpoints=2, group=group,
+            )
+            throughput[f"S={shards}"] = result.average_throughput
+            totals[shards] = engine.result().payload(())
+        finally:
+            engine.close()
+
+    base = min(shard_counts)
+    peak = max(shard_counts)
+    speedup = (
+        throughput[f"S={peak}"] / throughput[f"S={base}"]
+        if throughput[f"S={base}"] > 0 else float("inf")
+    )
+    merge_equal = all(
+        ring.eq(totals[base], totals[shards]) for shards in shard_counts
+    )
+    cpu_count = os.cpu_count() or 1
+    enforced = cpu_count >= MIN_CPUS_TO_ENFORCE and executor_used == "process"
+    ok = merge_equal and (speedup >= MIN_SPEEDUP if enforced else True)
+    return {
+        "tuples": stream.total_tuples,
+        "cpu_count": cpu_count,
+        "executor": executor_used,
+        "throughput": {name: round(value) for name, value in throughput.items()},
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+        "scaling_enforced": enforced,
+        "merge_equal": merge_equal,
+        "ok": ok,
+    }
+
+
+def main() -> int:
+    report = run_shard_smoke()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["ok"]:
+        if not report["merge_equal"]:
+            print(
+                "FAIL: sharded totals diverge from the single-shard run",
+                file=sys.stderr,
+            )
+        elif report["speedup"] < report["min_speedup"]:
+            print(
+                f"FAIL: S=4 at {report['speedup']}x S=1 "
+                f"(minimum {report['min_speedup']}x on "
+                f"{report['cpu_count']} CPUs)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,11 +20,14 @@ from repro.core.materialization import (
     materialized_views,
 )
 from repro.core.query import Query
+from repro.core.sharded import ShardedFIVMEngine, stable_hash
 from repro.core.variable_order import VariableOrder, VONode
 from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
 
 __all__ = [
     "FIVMEngine",
+    "ShardedFIVMEngine",
+    "stable_hash",
     "is_hierarchical",
     "is_q_hierarchical",
     "update_cost_sketch",

@@ -68,7 +68,9 @@ from repro.core.factorized_update import FactorizedUpdate
 from repro.core.materialization import delta_sources, materialization_flags
 from repro.core.plan_exec import (
     FactorProgram,
+    ProgramLibrary,
     SlotProgram,
+    canonical_partition,
     compile_factor_program,
     compile_slot_program,
 )
@@ -80,11 +82,47 @@ from repro.data.indicator import IndicatorView
 from repro.data.relation import Relation
 from repro.data.schema import merge_schemas
 
-__all__ = ["FIVMEngine"]
+__all__ = ["FIVMEngine", "check_delta", "check_factorized"]
 
 #: A delta source at a node: ("child", i) for the i-th child subtree,
 #: ("ind", i) for the i-th hosted indicator projection.
 Source = Tuple[str, int]
+
+
+def check_delta(tree: ViewTree, updatable: frozenset, delta: Relation) -> ViewNode:
+    """Validate a listing delta against the updatable set and leaf schema.
+
+    Part of the shard-safe engine facade: the single-engine triggers and
+    the sharding router (:mod:`repro.core.sharded`, which holds a stateless
+    reference tree rather than a full engine) apply the same admission
+    checks through this one helper.  Returns the relation's leaf node.
+    """
+    rel = delta.name
+    if rel not in updatable:
+        raise KeyError(f"relation {rel!r} is not updatable")
+    leaf = tree.leaves[rel]
+    if delta.schema != leaf.keys:
+        raise ValueError(
+            f"delta schema {delta.schema} != {leaf.keys} of {rel}"
+        )
+    return leaf
+
+
+def check_factorized(
+    tree: ViewTree, updatable: frozenset, update: FactorizedUpdate
+) -> ViewNode:
+    """Validate a factorized delta's relation and attribute cover (the
+    factorized twin of :func:`check_delta`)."""
+    rel = update.relation
+    if rel not in updatable:
+        raise KeyError(f"relation {rel!r} is not updatable")
+    leaf = tree.leaves[rel]
+    if update.terms and update.attributes != frozenset(leaf.keys):
+        raise ValueError(
+            f"factorized delta covers {sorted(update.attributes)} "
+            f"!= {leaf.keys} of {rel}"
+        )
+    return leaf
 
 
 class _PlanStep:
@@ -141,8 +179,15 @@ class FIVMEngine:
         materialize: str = "auto",
         group_aware: bool = True,
         compiled: bool = True,
+        program_library: Optional[ProgramLibrary] = None,
     ):
         self.query = query
+        #: Optional cross-engine cache of generated trigger code.  The
+        #: sharding layer hands one library to all of its in-process shard
+        #: engines so isomorphic triggers are generated once and only
+        #: re-bound per shard; libraries must not be shared between
+        #: differently configured engines (see :mod:`repro.core.plan_exec`).
+        self._library = program_library
         #: Whether delta plans are executed as compiled slot programs
         #: (:mod:`repro.core.plan_exec`).  ``False`` keeps the dict-binding
         #: interpreter — the reference semantics used by differential tests.
@@ -256,7 +301,8 @@ class FIVMEngine:
             node = by_name[node_name]
             targets = [self._plan_target_relation(node, step) for step in plan]
             self._programs[(node_name, source)] = compile_slot_program(
-                node, source, plan, targets, self.query
+                node, source, plan, targets, self.query,
+                library=self._library,
             )
 
     def _plan(self, node: ViewNode, source: Source) -> List[_PlanStep]:
@@ -396,13 +442,7 @@ class FIVMEngine:
         """Apply ``R := R ⊎ δR`` and maintain all views; returns the root
         delta (total change of the query result)."""
         rel = delta.name
-        if rel not in self.updatable:
-            raise KeyError(f"relation {rel!r} is not updatable")
-        leaf = self.tree.leaves[rel]
-        if delta.schema != leaf.keys:
-            raise ValueError(
-                f"delta schema {delta.schema} != {leaf.keys} of {rel}"
-            )
+        leaf = check_delta(self.tree, self.updatable, delta)
         root = self.tree.root
         empty_root_delta = Relation(root.name, root.keys, self.query.ring)
         if delta.is_empty:
@@ -444,9 +484,11 @@ class FIVMEngine:
         Coalesces the deltas into one merged delta per relation (tuples that
         cancel across the batch vanish before propagation), absorbs each
         stored base once, and propagates one merged delta per leaf-to-root
-        path — relations fire in first-appearance order.  Returns the total
-        root delta; the maintained state and the returned total equal those
-        of :meth:`apply_update` applied delta by delta (see the module
+        path — relations fire in :meth:`schedule_paths` order, which groups
+        paths sharing subtrees so probe-cache entries computed for one
+        relation survive into its neighbours' propagation.  Returns the
+        total root delta; the maintained state and the returned total equal
+        those of :meth:`apply_update` applied delta by delta (see the module
         docstring for why coalescing is sound).
 
         Items may also be :class:`FactorizedUpdate` instances: their terms
@@ -462,29 +504,23 @@ class FIVMEngine:
         order: List[str] = []
         for item in deltas:
             if isinstance(item, FactorizedUpdate):
-                rel = item.relation
-                if rel not in self.updatable:
-                    raise KeyError(f"relation {rel!r} is not updatable")
-                if item.terms and item.attributes != frozenset(
-                    self.tree.leaves[rel].keys
-                ):
+                if not self.query.ring.is_commutative:
+                    # The fire-time check of apply_factorized_update, made
+                    # up front so a bad item cannot leave earlier relations
+                    # of the batch absorbed and later ones not.
                     raise ValueError(
-                        f"factorized delta covers {sorted(item.attributes)} "
-                        f"!= {self.tree.leaves[rel].keys} of {rel}"
+                        "factorized updates require a commutative payload "
+                        "ring"
                     )
+                rel = item.relation
+                check_factorized(self.tree, self.updatable, item)
                 if rel not in merged and rel not in factored:
                     order.append(rel)
                 factored.setdefault(rel, []).extend(item.terms)
                 continue
             delta = item
             rel = delta.name
-            if rel not in self.updatable:
-                raise KeyError(f"relation {rel!r} is not updatable")
-            if delta.schema != self.tree.leaves[rel].keys:
-                raise ValueError(
-                    f"delta schema {delta.schema} != "
-                    f"{self.tree.leaves[rel].keys} of {rel}"
-                )
+            check_delta(self.tree, self.updatable, delta)
             accumulated = merged.get(rel)
             if accumulated is None:
                 if rel not in factored:
@@ -494,7 +530,7 @@ class FIVMEngine:
                 accumulated.absorb_bulk(delta)
         root = self.tree.root
         total = Relation(root.name, root.keys, self.query.ring)
-        for rel in order:
+        for rel in self.schedule_paths(order):
             coalesced = merged.get(rel)
             if coalesced is not None and not coalesced.is_empty:
                 total = total.union(
@@ -507,6 +543,33 @@ class FIVMEngine:
                     self.apply_factorized_update(update), name=root.name
                 )
         return total
+
+    def schedule_paths(self, relations: Sequence[str]) -> List[str]:
+        """Order leaf-to-root paths for probe-cache residency (the planner
+        hook shared by batching and shard routing).
+
+        Relations whose paths climb through the same subtrees probe the
+        same sibling views; scheduling them adjacently lets probe-cache
+        entries computed for one path serve its neighbours before an
+        unrelated relation's absorb invalidates them.  Paths sort by their
+        root-first node-name sequence, so relations under one subtree are
+        consecutive; the sort is stable, so ties keep first-appearance
+        order.  Reordering is sound: the final state is a function of the
+        final database only, and the total root delta telescopes over the
+        per-relation deltas in any order.
+        """
+        leaves = self.tree.leaves
+
+        def path_key(rel: str) -> Tuple[str, ...]:
+            names: List[str] = []
+            node = leaves[rel].parent
+            while node is not None:
+                names.append(node.name)
+                node = node.parent
+            names.reverse()
+            return tuple(names)
+
+        return sorted(relations, key=path_key)
 
     def _propagate(self, start_child: ViewNode, delta: Relation) -> Relation:
         prev, node = start_child, start_child.parent
@@ -675,17 +738,10 @@ class FIVMEngine:
                 "factorized updates require a commutative payload ring"
             )
         rel = update.relation
-        if rel not in self.updatable:
-            raise KeyError(f"relation {rel!r} is not updatable")
+        leaf = check_factorized(self.tree, self.updatable, update)
         root = self.tree.root
         if not update.terms:
             return Relation(root.name, root.keys, self.query.ring)
-        leaf = self.tree.leaves[rel]
-        if update.attributes != frozenset(leaf.keys):
-            raise ValueError(
-                f"factorized delta covers {sorted(update.attributes)} "
-                f"!= {leaf.keys} of {rel}"
-            )
         observed = any(
             iv.base_name == rel
             for ivs in self._indicator_views.values()
@@ -719,7 +775,10 @@ class FIVMEngine:
         self, node: ViewNode, source: Source, partition: tuple
     ) -> "FactorProgram":
         """The factor slot program for this entry point and partition,
-        compiled on first use (partitions depend on the update stream)."""
+        compiled on first use (partitions depend on the update stream).
+        Callers pass the *canonicalized* partition (factor schemas sorted,
+        see :func:`repro.core.plan_exec.canonical_partition`), so permuted
+        factor orders of one decomposition share one compiled program."""
         key = (node.name, source, partition)
         program = self._factor_programs.get(key)
         if program is None:
@@ -738,6 +797,7 @@ class FIVMEngine:
                 self.flags[node.name],
                 self.query,
                 self.group_aware,
+                library=self._library,
             )
             self._factor_programs[key] = program
         return program
@@ -759,6 +819,13 @@ class FIVMEngine:
         prev, node = leaf, leaf.parent
         while node is not None:
             source: Source = ("child", self._child_pos[node.name][prev.name])
+            if len(partition) > 1:
+                # Canonicalize the factor order (legal: factorized updates
+                # already require a commutative ring) so permuted partitions
+                # of the same decomposition reuse one compiled program.
+                partition, perm = canonical_partition(partition)
+                if perm != tuple(range(len(perm))):
+                    fdatas = tuple(fdatas[i] for i in perm)
             program = self._factor_program(node, source, partition)
             fdatas, node_flat = program.run(fdatas, cache)
             if fdatas is None:

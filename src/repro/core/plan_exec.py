@@ -69,11 +69,37 @@ Factorized updates require a commutative ring, so the generated code is
 free to reorder and pre-aggregate payload products; accumulation still goes
 through per-key contribution lists folded by ``ring.sum`` (vectorized for
 the cofactor, degree, and product rings).
+
+Generation vs binding (shard-local triggers)
+--------------------------------------------
+
+Compilation is split in two stages so that sharded engines can share the
+expensive half:
+
+* **generation** walks the plan and emits the trigger *source text* plus a
+  list of :class:`environment requests <_Generated>` — symbolic
+  descriptions ("the primary map of target 2", "the bucket dict of target
+  0's index on (A, B)", "a fresh cache-site sentinel") of every
+  target-derived global the code needs.  Generation reads only target
+  *schemas and names*, never live relation state, so its output is valid
+  for any engine holding an isomorphic view tree;
+* **binding** realizes the requests against one engine's actual stored
+  relations (registering any secondary index a probe needs) and execs
+  the pre-compiled code object with those globals — per-shard dictionaries
+  stay bound directly in the trigger's globals, so the run-time fast path
+  is unchanged.
+
+A :class:`ProgramLibrary` memoizes generated programs by a canonicalized
+key — ``(node name, source, target schemas)`` plus, for factor programs,
+the canonically sorted factor partition — so ``S`` hash-partitioned shard
+engines built over the same query pay for code generation once and each
+bind their own copy.  A library must only be shared by identically
+configured engines (same query, order, and planner flags).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.data.relation import Relation
 
@@ -82,7 +108,113 @@ __all__ = [
     "compile_slot_program",
     "FactorProgram",
     "compile_factor_program",
+    "ProgramLibrary",
+    "canonical_partition",
 ]
+
+
+def canonical_partition(partition: Sequence[Tuple[str, ...]]) -> tuple:
+    """Sort factor schemas into the canonical (lexicographic) order.
+
+    Returns ``(sorted_partition, permutation)`` where ``permutation[i]`` is
+    the index in the *original* partition of the i-th canonical factor.
+    Factor programs are cached per partition; canonicalizing first means
+    permuted factor orders of the same decomposition — which are semantically
+    identical on the (required) commutative ring — hit one compiled program
+    instead of compiling duplicates.
+    """
+    order = sorted(range(len(partition)), key=lambda i: partition[i])
+    return tuple(partition[i] for i in order), tuple(order)
+
+
+class _Generated:
+    """The shareable half of a compiled trigger: code + environment requests.
+
+    ``requests`` is a list of ``(global_name, spec)`` pairs where ``spec``
+    describes how to realize the binding against live targets:
+
+    * ``("data", i)`` — the primary map of target ``i``;
+    * ``("buckets", i, attrs)`` / ``("sums", i, attrs)`` — the bucket/sum
+      dicts of target ``i``'s secondary index on ``attrs`` (registered at
+      bind time when missing);
+    * ``("lift", var)`` — the query's lifting function for ``var``;
+    * ``("sentinel",)`` — a fresh per-binding cache-site identity.
+
+    ``meta`` carries the program-class payload (the output schema for slot
+    programs, the outgoing factor partition for factor programs).
+    """
+
+    __slots__ = ("code", "requests", "source_text", "meta")
+
+    def __init__(self, code, requests, source_text, meta):
+        self.code = code
+        self.requests = requests
+        self.source_text = source_text
+        self.meta = meta
+
+
+class ProgramLibrary:
+    """A cross-engine cache of generated trigger code.
+
+    Owned by :class:`repro.core.sharded.ShardedFIVMEngine` and handed to
+    every shard's :class:`~repro.core.engine.FIVMEngine`: shard 0 generates
+    and compiles each trigger's source once, shards 1..S-1 only re-bind the
+    cached code object against their own view fragments.
+    """
+
+    def __init__(self):
+        self._generated: Dict[tuple, _Generated] = {}
+
+    def __len__(self) -> int:
+        return len(self._generated)
+
+    def lookup(self, key: tuple) -> Optional[_Generated]:
+        return self._generated.get(key)
+
+    def store(self, key: tuple, generated: _Generated) -> None:
+        self._generated[key] = generated
+
+
+def _bind_env(generated: _Generated, targets: Sequence[Relation], query) -> dict:
+    """Realize a generated program's environment against live targets.
+
+    Registers any secondary index the requests name (idempotent), then
+    execs the code object so the trigger's globals point straight at this
+    engine's dictionaries.
+    """
+    ring = query.ring
+    env = {
+        "_mul": ring.mul,
+        "_add": ring.add,
+        "_one": ring.one,
+        "_iszero": ring.is_zero,
+        "_rsum": ring.sum,
+        "_zero": ring.zero,
+        "_NONE": (None, None),
+        "_finalize": _make_finalize(ring.sum, ring.is_zero),
+        "_site": _cache_site,
+    }
+    lift_table = query.lifting.table()
+    for name, spec in generated.requests:
+        kind = spec[0]
+        if kind == "data":
+            env[name] = targets[spec[1]]._data
+        elif kind == "buckets":
+            target = targets[spec[1]]
+            target.register_index(spec[2])
+            env[name] = target._indexes[spec[2]][1]
+        elif kind == "sums":
+            target = targets[spec[1]]
+            target.register_index(spec[2])
+            env[name] = target._indexes[spec[2]][2]
+        elif kind == "lift":
+            env[name] = lift_table[spec[1]]
+        elif kind == "sentinel":
+            env[name] = object()
+        else:  # pragma: no cover - generator/binder contract guard
+            raise ValueError(f"unknown environment request {spec!r}")
+    exec(generated.code, env)
+    return env
 
 
 class SlotProgram:
@@ -134,20 +266,40 @@ def _tuple_display(registers: Sequence[str]) -> str:
     return "(" + ", ".join(registers) + ")"
 
 
-def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
+def compile_slot_program(
+    node, source, plan, targets, query, library: Optional[ProgramLibrary] = None
+) -> SlotProgram:
     """Compile one delta-join plan into a :class:`SlotProgram`.
 
     ``plan`` is the engine's list of ``_PlanStep``; ``targets`` the stored
-    relation each step probes, aligned with ``plan``.  Secondary indexes the
-    steps need must already be registered (the engine registers them while
-    planning, before compiling).
+    relation each step probes, aligned with ``plan``.  Any secondary index a
+    probe needs is registered at bind time (idempotent — the engine already
+    registers them while planning).  With a ``library``, generated code is
+    shared across engines holding isomorphic trees (sharding): only the
+    environment binding is per-engine.
     """
+    target_schemas = tuple(target.schema for target in targets)
+    key = ("slot", node.name, source, target_schemas)
+    generated = library.lookup(key) if library is not None else None
+    if generated is None:
+        generated = _generate_slot(node, source, plan, target_schemas, query)
+        if library is not None:
+            library.store(key, generated)
+    env = _bind_env(generated, targets, query)
+    return SlotProgram(
+        node.name, generated.meta, query.ring, env["_trigger"],
+        generated.source_text,
+    )
+
+
+def _generate_slot(node, source, plan, target_schemas, query) -> _Generated:
+    """Generate the slot-program source and environment requests (no live
+    relation state is read — see the module docstring)."""
     kind, idx = source
     if kind == "child":
         source_attrs = node.children[idx].keys
     else:
         source_attrs = node.indicators[idx].attrs
-    ring = query.ring
     lift_entries = [
         (var, query.lifting.get(var)) for var in node.marginalized
     ]
@@ -174,13 +326,7 @@ def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
             registers[attr] = name
         return name
 
-    env = {
-        "_mul": ring.mul,
-        "_add": ring.add,
-        "_one": ring.one,
-        "_iszero": ring.is_zero,
-        "_rsum": ring.sum,
-    }
+    requests: List[tuple] = []
     lines: List[str] = ["def _trigger(_items, _out):"]
 
     def emit(depth: int, text: str) -> None:
@@ -189,7 +335,7 @@ def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
     # Hoist loop-invariant group-aware probes (no shared attributes): the
     # whole sibling collapses to one ring sum, computed once per trigger.
     for i, step in enumerate(plan):
-        env[f"_data{i}"] = targets[i]._data
+        requests.append((f"_data{i}", ("data", i)))
         if step.aggregated and not step.probe_attrs:
             emit(1, f"_t{i} = _rsum(_data{i}.values())")
             emit(1, f"if _iszero(_t{i}):")
@@ -207,13 +353,11 @@ def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
         pay_var_by_child[idx] = "_psrc"
 
     for i, step in enumerate(plan):
-        target = targets[i]
-        schema = target.schema
+        schema = target_schemas[i]
         probe = step.probe_attrs
         if probe and probe != schema:
-            projector, buckets, sums = target._indexes[probe]
-            env[f"_bkt{i}"] = buckets
-            env[f"_sum{i}"] = sums
+            requests.append((f"_bkt{i}", ("buckets", i, probe)))
+            requests.append((f"_sum{i}", ("sums", i, probe)))
         probe_key = _tuple_display([registers[a] for a in probe])
         if step.aggregated:
             if not probe:
@@ -271,7 +415,7 @@ def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
     for j, (var, lift) in enumerate(lift_entries):
         if lift is None:
             continue
-        env[f"_lift{j}"] = lift
+        requests.append((f"_lift{j}", ("lift", var)))
         lift_terms.append(f"_lift{j}({registers[var]})")
     if lift_terms:
         emit(depth, f"_lv = {lift_terms[0]}")
@@ -306,8 +450,7 @@ def compile_slot_program(node, source, plan, targets, query) -> SlotProgram:
     code = compile(
         source_text, f"<slot-program {node.name}:{kind}{idx}>", "exec"
     )
-    exec(code, env)
-    return SlotProgram(node.name, out_attrs, ring, env["_trigger"], source_text)
+    return _Generated(code, requests, source_text, out_attrs)
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +531,7 @@ def compile_factor_program(
     materialized: bool,
     query,
     group_aware: bool = True,
+    library: Optional[ProgramLibrary] = None,
 ) -> FactorProgram:
     """Compile the factorized trigger for one node, source, and partition.
 
@@ -397,26 +541,53 @@ def compile_factor_program(
     order (children in child order, the entering child skipped, then
     hosted indicator projections).  Mirrors
     :meth:`FIVMEngine._propagate_factored` op for op; secondary indexes
-    the probes need are registered here, at compile time.
+    the probes need are registered at bind time.  With a ``library``,
+    generated code is shared across isomorphic engines (sharding); the
+    engine canonicalizes ``partition`` before calling, so permuted factor
+    orders of one decomposition share one cache entry too.
     """
+    target_names = tuple(target.name for target in targets)
+    target_schemas = tuple(target.schema for target in targets)
+    key = (
+        "factor", node.name, source, tuple(tuple(s) for s in partition),
+        target_schemas, materialized, group_aware,
+    )
+    generated = library.lookup(key) if library is not None else None
+    if generated is None:
+        generated = _generate_factor(
+            node, source, partition, target_names, target_schemas,
+            materialized, query, group_aware,
+        )
+        if library is not None:
+            library.store(key, generated)
+    env = _bind_env(generated, targets, query)
+    return FactorProgram(
+        node.name, generated.meta, query.ring, env["_factor"],
+        generated.source_text,
+    )
+
+
+def _generate_factor(
+    node,
+    source,
+    partition: Sequence[Tuple[str, ...]],
+    target_names: Sequence[str],
+    target_schemas: Sequence[Tuple[str, ...]],
+    materialized: bool,
+    query,
+    group_aware: bool,
+) -> _Generated:
+    """Generate the factor-program source and environment requests; reads
+    target names and schemas only (see the module docstring)."""
     kind, idx = source
     if kind != "child":
         raise ValueError("factorized deltas always enter through a child")
     if not partition:
         raise ValueError("a factor program needs at least one factor")
-    ring = query.ring
     lift_table = query.lifting.table()
     droppable = set(node.marginalized) - set(node.keys)
 
-    env = {
-        "_mul": ring.mul,
-        "_rsum": ring.sum,
-        "_iszero": ring.is_zero,
-        "_zero": ring.zero,
-        "_NONE": (None, None),
-        "_finalize": _make_finalize(ring.sum, ring.is_zero),
-        "_site": _cache_site,
-    }
+    requests: List[tuple] = []
     lines: List[str] = ["def _factor(_fs, _cache):"]
 
     def emit(depth: int, text: str) -> None:
@@ -429,11 +600,11 @@ def compile_factor_program(
         if name is None:
             name = f"_lift{len(lift_names)}"
             lift_names[var] = name
-            env[name] = lift_table[var]
+            requests.append((name, ("lift", var)))
         return name
 
     #: One entry per live factor: [schema, runtime expression, pristine
-    #: sibling relation or None].  A "pristine" slot aliases a stored
+    #: sibling *name* or None].  A "pristine" slot aliases a stored
     #: sibling's primary map untouched — its collapses are cacheable.
     slots: List[list] = [
         [tuple(schema), f"_fs[{i}]", None] for i, schema in enumerate(partition)
@@ -442,19 +613,19 @@ def compile_factor_program(
     op = 0
 
     # ---- sibling merges (the fused join_project loop nests) ----
-    for ti, target in enumerate(targets):
-        ts = target.schema
+    for ti in range(len(target_schemas)):
+        ts = target_schemas[ti]
         ts_set = set(ts)
         sharing = [i for i, slot in enumerate(slots) if ts_set & set(slot[0])]
         if not sharing:
-            env[f"_sd{ti}"] = target._data
-            slots.append([ts, f"_sd{ti}", target])
+            requests.append((f"_sd{ti}", ("data", ti)))
+            slots.append([ts, f"_sd{ti}", target_names[ti]])
             continue
         n = op
         op += 1
         pending: Set[str] = set()
-        for later in targets[ti + 1:]:
-            pending |= set(later.schema)
+        for later in target_schemas[ti + 1:]:
+            pending |= set(later)
         rest = [i for i in range(len(slots)) if i not in set(sharing)]
         rest_attrs = {a for i in rest for a in slots[i][0]}
         shared_attrs = {a for i in sharing for a in slots[i][0]}
@@ -482,16 +653,14 @@ def compile_factor_program(
         cached = aggregated and bool(ext_lifts)
 
         if probe != ts:
-            target.register_index(probe)
-            index_entry = target._indexes[probe]
-            env[f"_bk{n}"] = index_entry[1]
+            requests.append((f"_bk{n}", ("buckets", ti, probe)))
             if aggregated and not cached:
-                env[f"_ss{n}"] = index_entry[2]
+                requests.append((f"_ss{n}", ("sums", ti, probe)))
         if probe == ts:
-            env[f"_sd{n}x"] = target._data
+            requests.append((f"_sd{n}x", ("data", ti)))
         if cached:
-            env[f"_sid{n}"] = object()
-            emit(1, f"_cs{n} = _site(_cache, {target.name!r}, _sid{n})")
+            requests.append((f"_sid{n}", ("sentinel",)))
+            emit(1, f"_cs{n} = _site(_cache, {target_names[ti]!r}, _sid{n})")
 
         registers: Dict[str, str] = {}
 
@@ -616,8 +785,8 @@ def compile_factor_program(
         if pristine is not None:
             # A whole-sibling collapse: the result depends only on the
             # stored view, so it is memoized per view state.
-            env[f"_sid{n}"] = object()
-            emit(1, f"_cs{n} = _site(_cache, {pristine.name!r}, _sid{n})")
+            requests.append((f"_sid{n}", ("sentinel",)))
+            emit(1, f"_cs{n} = _site(_cache, {pristine!r}, _sid{n})")
             emit(1, f"_g{n} = _cs{n}.get(0)")
             emit(1, f"if _g{n} is None:")
             base = 2
@@ -687,11 +856,6 @@ def compile_factor_program(
     code = compile(
         source_text, f"<factor-program {node.name}:{kind}{idx}>", "exec"
     )
-    exec(code, env)
-    return FactorProgram(
-        node.name,
-        tuple(tuple(slot[0]) for slot in slots),
-        ring,
-        env["_factor"],
-        source_text,
+    return _Generated(
+        code, requests, source_text, tuple(tuple(slot[0]) for slot in slots)
     )

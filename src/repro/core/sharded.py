@@ -1,0 +1,681 @@
+"""Hash-partitioned parallel F-IVM: sharded engines, ring-merged roots.
+
+The view trees of F-IVM are *ring-homomorphic*: every view is a
+join-aggregate whose value is multilinear in the base relations, so
+partitioning the domain of one join variable splits the query into
+independent summands — ``Q(D) = ⊎_s Q(D_s)`` — that per-shard engines can
+maintain in isolation and the coordinator can recombine with plain payload
+addition (``Ring.add``, the same decomposability that conditioning work on
+probabilistic databases exploits).  Concretely:
+
+* a **shard variable** ``X`` is fixed (default: the root of the variable
+  order — the paper keeps join variables on top, so the root is shared by
+  the heaviest relations);
+* every relation whose schema contains ``X`` is **hash-partitioned** on it
+  (fragment ``s`` holds the tuples with ``hash(x) % S == s``); relations
+  without ``X`` are **replicated** to all shards (the broadcast side of a
+  distributed hash join);
+* each shard runs a full, unmodified :class:`~repro.core.engine.FIVMEngine`
+  over its fragment database.  Every full-join assignment binds ``X`` to
+  one value and therefore contributes to exactly one shard, so for every
+  view whose subtree touches a partitioned relation the global contents are
+  the ``⊎`` of the per-shard fragments, and the global root delta of any
+  update is the ``⊎`` of the per-shard root deltas.  Views over purely
+  replicated subtrees are identical in every shard and are read once.
+
+Soundness needs only ``Ring.add`` commutativity — a ring axiom — so every
+payload ring works, including the non-commutative matrix ring (payload
+*products* stay inside one shard, in child order).  Cyclic queries whose
+indicator projections observe a partitioned relation would break the
+multilinearity argument; :class:`ShardedFIVMEngine` builds plain
+(unadorned) view trees, so the situation cannot arise.
+
+Executors
+---------
+
+``executor="inline"`` (default) runs the ``S`` engines in-process — the
+deterministic mode the differential tests drive, and the mode in which all
+shards share one :class:`~repro.core.plan_exec.ProgramLibrary`, so trigger
+code is generated once and only re-bound per shard.  ``executor="process"``
+forks one worker per shard (requires the ``fork`` start method; silently
+falls back to inline elsewhere): deltas are routed in the coordinator,
+shipped as plain ``(name, schema, {key: payload})`` triples, and the
+per-shard root deltas come back the same way — true parallel maintenance
+on multi-core hosts, measured by ``benchmarks/test_fig_shard_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+import zlib
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.engine import FIVMEngine, check_delta, check_factorized
+from repro.core.factorized_update import FactorizedUpdate, decompose
+from repro.core.materialization import materialization_flags
+from repro.core.plan_exec import ProgramLibrary
+from repro.core.query import Query
+from repro.core.variable_order import VariableOrder
+from repro.core.view_tree import ViewNode, build_view_tree
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+__all__ = ["ShardedFIVMEngine", "stable_hash"]
+
+
+def stable_hash(value) -> int:
+    """A deterministic, process-independent hash for shard routing.
+
+    Python's ``hash`` is salted per process for strings; routing must be
+    replayable across runs (differential tests) and identical between a
+    coordinator and its forked workers, so fragments are assigned by
+    CRC-32 of the value's ``repr`` instead.
+
+    The hasher must agree wherever dict-key equality does — tuple keys
+    treat ``True``, ``1``, and ``1.0`` as the same key, so those are
+    normalized to one representative before hashing (a bool/int/float
+    split across shards would silently drop join matches).  Custom key
+    types with equality wider than ``repr`` need a custom ``hasher=``.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    elif isinstance(value, float) and value.is_integer():
+        value = int(value)
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+# ----------------------------------------------------------------------
+# Wire format (process executor): relations as plain picklable triples
+# ----------------------------------------------------------------------
+
+
+def _pack_relation(relation: Relation) -> tuple:
+    return (relation.name, relation.schema, relation._data)
+
+
+def _unpack_relation(packed: tuple, ring) -> Relation:
+    name, schema, data = packed
+    out = Relation(name, schema, ring)
+    out._data = data if isinstance(data, dict) else dict(data)
+    return out
+
+
+def _pack_factorized(update: FactorizedUpdate) -> tuple:
+    return (
+        update.relation,
+        [[_pack_relation(factor) for factor in term] for term in update.terms],
+    )
+
+
+def _unpack_factorized(packed: tuple, ring) -> FactorizedUpdate:
+    relation, terms = packed
+    return FactorizedUpdate(
+        relation,
+        [[_unpack_relation(factor, ring) for factor in term] for term in terms],
+        ring=ring,
+    )
+
+
+def _pack_request(request: tuple) -> tuple:
+    kind = request[0]
+    if kind == "update":
+        return ("update", _pack_relation(request[1]))
+    if kind == "factorized":
+        return ("factorized", _pack_factorized(request[1]))
+    if kind == "batch":
+        packed: List[tuple] = []
+        for item in request[1]:
+            if isinstance(item, FactorizedUpdate):
+                packed.append(("factorized", _pack_factorized(item)))
+            else:
+                packed.append(("update", _pack_relation(item)))
+        return ("batch", packed)
+    if kind == "init":
+        return ("init", [_pack_relation(rel) for rel in request[1]])
+    return request  # "view", "views", "sizes", "scalars", "stop"
+
+
+def _unpack_request(msg: tuple, ring) -> tuple:
+    """Wire message → live-object request (inverse of :func:`_pack_request`)."""
+    kind = msg[0]
+    if kind == "update":
+        return ("update", _unpack_relation(msg[1], ring))
+    if kind == "factorized":
+        return ("factorized", _unpack_factorized(msg[1], ring))
+    if kind == "batch":
+        items: List[object] = []
+        for tag, payload in msg[1]:
+            if tag == "factorized":
+                items.append(_unpack_factorized(payload, ring))
+            else:
+                items.append(_unpack_relation(payload, ring))
+        return ("batch", items)
+    if kind == "init":
+        return ("init", [_unpack_relation(p, ring) for p in msg[1]])
+    return msg  # "view", "views", "sizes", "scalars", "stop"
+
+
+def _dispatch(engine: FIVMEngine, request: tuple):
+    """Serve one live-object request against a shard engine.
+
+    The single dispatcher behind both executors — the in-process one calls
+    it directly, the worker loop after unwiring — so every operation routed
+    here is the narrow, state-isolated engine surface (the shard facade)
+    and the two executors cannot drift apart.  Replies are plain data
+    (delta dicts, size maps) ready for either in-process merging or the
+    pipe.
+    """
+    kind = request[0]
+    if kind == "update":
+        return engine.apply_update(request[1])._data
+    if kind == "factorized":
+        return engine.apply_factorized_update(request[1])._data
+    if kind == "batch":
+        return engine.apply_batch(request[1])._data
+    if kind == "init":
+        engine.initialize(Database(rel for rel in request[1]))
+        return None
+    if kind == "view":
+        return engine.views[request[1]]._data
+    if kind == "views":
+        return {name: view._data for name, view in engine.views.items()}
+    if kind == "sizes":
+        return engine.view_sizes()
+    if kind == "scalars":
+        from repro.bench.memory import strategy_scalars
+
+        return strategy_scalars(engine)
+    if kind == "stop":
+        return None
+    raise ValueError(f"unknown shard request {kind!r}")
+
+
+def _shard_worker(conn, factory: Callable[[], FIVMEngine]) -> None:
+    """Worker loop: build the shard engine, then serve until ``stop``/EOF."""
+    engine = factory()
+    ring = engine.query.ring
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        try:
+            reply = _dispatch(engine, _unpack_request(msg, ring))
+        except BaseException as exc:  # report, keep serving
+            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+            continue
+        conn.send(("ok", reply))
+        if msg[0] == "stop":
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+class _InlineShards:
+    """All shard engines in-process; requests are served synchronously.
+
+    The deterministic executor the differential tests drive; engines share
+    one :class:`ProgramLibrary`, so trigger code generation is paid once.
+    """
+
+    kind = "inline"
+
+    def __init__(self, factories: Sequence[Callable[[], FIVMEngine]]):
+        self.engines = [factory() for factory in factories]
+
+    def run(self, requests: Dict[int, tuple]) -> Dict[int, object]:
+        return {
+            shard: _dispatch(self.engines[shard], request)
+            for shard, request in requests.items()
+        }
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessShards:
+    """One forked worker per shard, driven over pipes.
+
+    Requests for an operation are sent to every involved worker first and
+    the replies collected afterwards, so the workers compute in parallel
+    while the coordinator blocks only on the slowest one.
+    """
+
+    kind = "process"
+
+    def __init__(self, factories: Sequence[Callable[[], FIVMEngine]]):
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for factory in factories:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker, args=(child_conn, factory), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def run(self, requests: Dict[int, tuple]) -> Dict[int, object]:
+        for shard, request in requests.items():
+            try:
+                self._conns[shard].send(_pack_request(request))
+            except (BrokenPipeError, OSError) as exc:
+                raise RuntimeError(
+                    f"shard worker {shard} is gone ({exc!r}); the sharded "
+                    "engine cannot continue"
+                ) from exc
+        replies: Dict[int, object] = {}
+        for shard in requests:
+            try:
+                tag, payload = self._conns[shard].recv()
+            except EOFError as exc:
+                raise RuntimeError(
+                    f"shard worker {shard} died mid-request"
+                ) from exc
+            if tag == "error":
+                raise RuntimeError(f"shard {shard} failed:\n{payload}")
+            replies[shard] = payload
+        return replies
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - hung worker guard
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._conns = []
+        self._procs = []
+
+
+# ----------------------------------------------------------------------
+# The sharded engine
+# ----------------------------------------------------------------------
+
+
+class ShardedFIVMEngine:
+    """Maintains a join-aggregate query over ``S`` hash-partitioned shards.
+
+    Drives ``S`` independent :class:`FIVMEngine` instances through the
+    shard-safe facade (``apply_update`` / ``apply_batch`` /
+    ``apply_factorized_update`` / ``initialize`` / ``views``), routing each
+    delta to the shards its tuples hash into and ring-merging the per-shard
+    root deltas and view fragments into the single-engine result (see the
+    module docstring for the soundness argument).
+
+    Parameters mirror :class:`FIVMEngine`, plus:
+
+    shards:
+        Number of partitions ``S`` (1 degenerates to a routed single
+        engine, useful as the bench baseline).
+    shard_key:
+        The variable to hash-partition on.  Default: the root of the
+        variable order — every leaf whose schema joins with the root
+        variable is partitioned on that attribute; relations without it
+        are replicated.  At least one relation must contain the key.
+    executor:
+        ``"inline"`` (in-process, deterministic, shared program library)
+        or ``"process"`` (one forked worker per shard; falls back to
+        inline on platforms without the ``fork`` start method).
+    hasher:
+        Value-level hash used for routing; must be deterministic across
+        processes (default :func:`stable_hash`).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        order: Optional[VariableOrder] = None,
+        shards: int = 4,
+        shard_key: Optional[str] = None,
+        updatable: Optional[Iterable[str]] = None,
+        db: Optional[Database] = None,
+        executor: str = "inline",
+        collapse_chains: bool = True,
+        materialize: str = "auto",
+        group_aware: bool = True,
+        compiled: bool = True,
+        hasher: Callable[[object], int] = stable_hash,
+    ):
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.query = query
+        self.order = order or VariableOrder.auto(query)
+        self.shards = int(shards)
+        self.updatable = (
+            frozenset(updatable) if updatable is not None
+            else frozenset(query.relations)
+        )
+        root_var = self.order.roots[0].var
+        self.shard_key = shard_key if shard_key is not None else root_var
+        if self.shard_key not in set(query.variables):
+            raise ValueError(
+                f"shard key {self.shard_key!r} is not a query variable"
+            )
+        self.partitioned = frozenset(
+            rel for rel, schema in query.relations.items()
+            if self.shard_key in schema
+        )
+        if not self.partitioned:
+            raise ValueError(
+                f"no relation contains shard key {self.shard_key!r}; "
+                "sharding would replicate everything"
+            )
+        self.replicated = frozenset(query.relations) - self.partitioned
+        self._hasher = hasher
+
+        # Stateless reference tree: the coordinator needs the tree *shape*
+        # (leaf schemas for routing, per-node relation sets for the merge
+        # rule) but holds no views — state lives in the shards.
+        self.tree = build_view_tree(
+            query, self.order, collapse_chains=collapse_chains
+        )
+        if materialize == "all":
+            self.flags = {node.name: True for node in self.tree.nodes}
+        elif materialize == "auto":
+            self.flags = materialization_flags(self.tree, self.updatable)
+        else:
+            raise ValueError("materialize must be 'auto' or 'all'")
+        self._nodes: Dict[str, ViewNode] = {
+            node.name: node for node in self.tree.nodes
+        }
+        #: Views whose subtree touches a partitioned relation: global
+        #: contents are the ⊎ of the per-shard fragments.  The rest sit
+        #: over purely replicated subtrees, are identical in every shard,
+        #: and are read from shard 0 alone.
+        self._summed = frozenset(
+            node.name
+            for node in self.tree.nodes
+            if self.flags[node.name] and (node.relations & self.partitioned)
+        )
+
+        if executor == "process" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            executor = "inline"
+        if executor not in ("inline", "process"):
+            raise ValueError("executor must be 'inline' or 'process'")
+        library = ProgramLibrary() if executor == "inline" else None
+
+        def factory() -> FIVMEngine:
+            return FIVMEngine(
+                query,
+                order=self.order,
+                updatable=self.updatable,
+                collapse_chains=collapse_chains,
+                materialize=materialize,
+                group_aware=group_aware,
+                compiled=compiled,
+                program_library=library,
+            )
+
+        factories = [factory] * self.shards
+        if executor == "inline":
+            self._exec = _InlineShards(factories)
+        else:
+            self._exec = _ProcessShards(factories)
+        self.executor = self._exec.kind
+        if db is not None:
+            self.initialize(db)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _split_listing(self, delta: Relation) -> Dict[int, Relation]:
+        """Per-shard fragments of a listing delta (empty fragments elided);
+        replicated relations broadcast the whole delta."""
+        if delta.name in self.replicated:
+            return {shard: delta for shard in range(self.shards)}
+        fragments = delta.partition(self.shard_key, self.shards, self._hasher)
+        return {
+            shard: fragment
+            for shard, fragment in enumerate(fragments)
+            if not fragment.is_empty
+        }
+
+    def _split_factorized(
+        self, update: FactorizedUpdate
+    ) -> Dict[int, FactorizedUpdate]:
+        """Route a factorized delta: within each rank-1 term, the factor
+        carrying the shard key is hash-partitioned and the other factors
+        ride along unchanged, so terms stay in product form per shard."""
+        rel = update.relation
+        if rel in self.replicated:
+            return {shard: update for shard in range(self.shards)}
+        per_shard: List[List[List[Relation]]] = [[] for _ in range(self.shards)]
+        for term in update.terms:
+            pivot = next(
+                i for i, factor in enumerate(term)
+                if self.shard_key in factor.schema
+            )
+            fragments = term[pivot].partition(
+                self.shard_key, self.shards, self._hasher
+            )
+            for shard, fragment in enumerate(fragments):
+                if fragment.is_empty:
+                    continue
+                routed = list(term)
+                routed[pivot] = fragment
+                per_shard[shard].append(routed)
+        return {
+            shard: FactorizedUpdate(rel, terms, ring=self.query.ring)
+            for shard, terms in enumerate(per_shard)
+            if terms
+        }
+
+    def _zero_root(self) -> Relation:
+        root = self.tree.root
+        return Relation(root.name, root.keys, self.query.ring)
+
+    def _merge_data(self, total: Relation, data: dict) -> None:
+        fragment = Relation(total.name, total.schema, self.query.ring)
+        fragment._data = data
+        total.absorb_bulk(fragment)
+
+    # ------------------------------------------------------------------
+    # Update triggers (the same surface as FIVMEngine)
+    # ------------------------------------------------------------------
+
+    def apply_update(self, delta: Relation) -> Relation:
+        """Route ``δR`` to its shards; returns the ring-merged root delta
+        (equal, key for key, to the single-engine root delta)."""
+        check_delta(self.tree, self.updatable, delta)
+        total = self._zero_root()
+        if delta.is_empty:
+            return total
+        requests = {
+            shard: ("update", fragment)
+            for shard, fragment in self._split_listing(delta).items()
+        }
+        for data in self._exec.run(requests).values():
+            self._merge_data(total, data)
+        return total
+
+    def apply_factorized_update(self, update: FactorizedUpdate) -> Relation:
+        """Route a factorized delta in product form (see
+        :meth:`_split_factorized`); returns the merged root delta."""
+        if not self.query.ring.is_commutative:
+            raise ValueError(
+                "factorized updates require a commutative payload ring"
+            )
+        check_factorized(self.tree, self.updatable, update)
+        total = self._zero_root()
+        if not update.terms:
+            return total
+        requests = {
+            shard: ("factorized", routed)
+            for shard, routed in self._split_factorized(update).items()
+        }
+        for data in self._exec.run(requests).values():
+            self._merge_data(total, data)
+        return total
+
+    def apply_batch(self, deltas: Iterable) -> Relation:
+        """The batched multi-relation trigger, sharded: every item is
+        routed, each shard coalesces and path-schedules its own sub-batch
+        (the engines share the planner hook), and the per-shard totals are
+        ring-merged.  Items are validated up front so a malformed item
+        cannot leave the shards partially updated."""
+        items = list(deltas)
+        for item in items:
+            if isinstance(item, FactorizedUpdate):
+                if not self.query.ring.is_commutative:
+                    raise ValueError(
+                        "factorized updates require a commutative payload "
+                        "ring"
+                    )
+                check_factorized(self.tree, self.updatable, item)
+            else:
+                check_delta(self.tree, self.updatable, item)
+        per_shard: Dict[int, List[object]] = {}
+        for item in items:
+            if isinstance(item, FactorizedUpdate):
+                routed = self._split_factorized(item)
+            else:
+                if item.is_empty:
+                    continue
+                routed = self._split_listing(item)
+            for shard, part in routed.items():
+                per_shard.setdefault(shard, []).append(part)
+        total = self._zero_root()
+        requests = {
+            shard: ("batch", parts) for shard, parts in per_shard.items()
+        }
+        for data in self._exec.run(requests).values():
+            self._merge_data(total, data)
+        return total
+
+    def apply_decomposed_update(self, delta: Relation) -> Relation:
+        """Decompose a listing delta into factors, then route factored
+        (mirrors :meth:`FIVMEngine.apply_decomposed_update`)."""
+        if not self.query.ring.is_commutative or delta.is_empty:
+            return self.apply_update(delta)
+        update = decompose(delta)
+        if len(update.terms[0]) <= 1:
+            return self.apply_update(delta)
+        return self.apply_factorized_update(update)
+
+    def initialize(self, db: Database) -> None:
+        """Partition a database snapshot and (re)load every shard."""
+        shard_attrs = {
+            rel: (self.shard_key if rel in self.partitioned else None)
+            for rel in self.query.relations
+        }
+        shard_dbs = db.partition(shard_attrs, self.shards, self._hasher)
+        self._exec.run({
+            shard: ("init", list(shard_dbs[shard]))
+            for shard in range(self.shards)
+        })
+
+    # ------------------------------------------------------------------
+    # Merged state access
+    # ------------------------------------------------------------------
+
+    def result(self) -> Relation:
+        """The maintained query result, ring-merged across shards."""
+        return self.contents(self.tree.root.name)
+
+    def contents(self, view_name: str) -> Relation:
+        """Global contents of a materialized view.
+
+        Partition-touching views merge their per-shard fragments with
+        ``⊎``; purely replicated views are read from shard 0 (every shard
+        holds an identical copy).
+        """
+        node = self._nodes.get(view_name)
+        if node is None or not self.flags[view_name]:
+            raise KeyError(f"no materialized view {view_name!r}")
+        out = Relation(view_name, node.keys, self.query.ring)
+        if view_name in self._summed:
+            requests = {
+                shard: ("view", view_name) for shard in range(self.shards)
+            }
+        else:
+            requests = {0: ("view", view_name)}
+        for data in self._exec.run(requests).values():
+            self._merge_data(out, data)
+        return out
+
+    def merged_views(self) -> Dict[str, Relation]:
+        """All materialized views, merged (one round-trip per shard)."""
+        replies = self._exec.run({
+            shard: ("views",) for shard in range(self.shards)
+        })
+        out: Dict[str, Relation] = {}
+        for name in self.materialized_names():
+            node = self._nodes[name]
+            merged = Relation(name, node.keys, self.query.ring)
+            sources = (
+                range(self.shards) if name in self._summed else (0,)
+            )
+            for shard in sources:
+                self._merge_data(merged, replies[shard][name])
+            out[name] = merged
+        return out
+
+    def materialized_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            name for name, flagged in self.flags.items() if flagged
+        ))
+
+    def view_sizes(self) -> Dict[str, int]:
+        """Physical keys per view, summed across shards (replicated views
+        count once per shard — that is what each shard actually stores)."""
+        replies = self._exec.run({
+            shard: ("sizes",) for shard in range(self.shards)
+        })
+        sizes: Dict[str, int] = {}
+        for reply in replies.values():
+            for name, count in reply.items():
+                sizes[name] = sizes.get(name, 0) + count
+        return sizes
+
+    def total_keys(self) -> int:
+        return sum(self.view_sizes().values())
+
+    def logical_scalars(self) -> int:
+        """Resident logical scalars across all shards (the sharded hook
+        for :func:`repro.bench.memory.strategy_scalars`)."""
+        replies = self._exec.run({
+            shard: ("scalars",) for shard in range(self.shards)
+        })
+        return sum(replies.values())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for the inline executor)."""
+        self._exec.close()
+
+    def __enter__(self) -> "ShardedFIVMEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

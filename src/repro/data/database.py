@@ -68,3 +68,27 @@ class Database:
     def copy(self) -> "Database":
         """A database with copies of all relations (payloads shared)."""
         return Database(rel.copy() for rel in self)
+
+    def partition(
+        self,
+        shard_attrs: Mapping[str, Optional[str]],
+        shards: int,
+        hasher,
+    ) -> Tuple["Database", ...]:
+        """Split into ``shards`` databases for hash-partitioned maintenance.
+
+        ``shard_attrs`` maps each relation name to the attribute it is
+        partitioned on, or ``None`` to replicate the relation (a full copy
+        in every shard — the broadcast side of a distributed hash join).
+        Relations absent from the mapping are replicated too.
+        """
+        out: Tuple[Database, ...] = tuple(Database() for _ in range(shards))
+        for relation in self:
+            attr = shard_attrs.get(relation.name)
+            if attr is None:
+                fragments = [relation.copy() for _ in range(shards)]
+            else:
+                fragments = relation.partition(attr, shards, hasher)
+            for db, fragment in zip(out, fragments):
+                db.add(fragment)
+        return out

@@ -627,6 +627,35 @@ class Relation:
             out.add(key, value)
         return out
 
+    def partition(
+        self, attr: str, shards: int, hasher: Callable[[Any], int]
+    ) -> list:
+        """Hash-partition on one attribute into ``shards`` relations.
+
+        Fragment ``i`` holds exactly the keys whose ``attr`` component
+        hashes to ``i`` (``hasher(value) % shards``), so fragments have
+        pairwise-disjoint supports and their union (``⊎``) is this
+        relation — the decomposition property the sharded engine's
+        ring-merge relies on.  Fragments start index-free.
+        """
+        if shards <= 0:
+            raise SchemaError("shard count must be positive")
+        if attr not in self.schema:
+            raise SchemaError(
+                f"cannot partition {self.name!r} on {attr!r}: "
+                f"not in schema {self.schema}"
+            )
+        position = self.schema.index(attr)
+        datas: list = [{} for _ in range(shards)]
+        for key, payload in self._data.items():
+            datas[hasher(key[position]) % shards][key] = payload
+        fragments = []
+        for data in datas:
+            fragment = Relation(self.name, self.schema, self.ring)
+            fragment._data = data
+            fragments.append(fragment)
+        return fragments
+
     def indicator(self, attrs: Sequence[str], name: Optional[str] = None) -> "Relation":
         """Static indicator projection ``∃_A R`` (Appendix B).
 

@@ -67,3 +67,17 @@ class Workload:
         for rel, schema in self.schemas.items():
             db.add(Relation(rel, schema, ring))
         return db
+
+    def preloaded_database(self, ring, streaming: Sequence[str]) -> Database:
+        """Every table loaded (payload 1) except the ``streaming`` ones,
+        which are present but empty — the ONE-scenario start state, where
+        dimension tables are static and only the fact relation streams."""
+        streaming_set = set(streaming)
+        db = self.empty_database(ring)
+        for rel, rows in self.tables.items():
+            if rel in streaming_set:
+                continue
+            target = db.relation(rel)
+            for row in rows:
+                target.add(row, ring.one)
+        return db

@@ -1,13 +1,11 @@
 """Tests for conjunctive query evaluation with three representations (§6.3)."""
 
-import random
 
 import pytest
 
 from repro.apps import MODES, ConjunctiveQuery
 from repro.core import VariableOrder
 from repro.data import Relation
-from repro.rings import INT_RING
 
 from tests.conftest import PAPER_SCHEMAS, paper_variable_order
 

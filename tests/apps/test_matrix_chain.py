@@ -19,7 +19,6 @@ from repro.datasets.matrices import (
     relation_as_matrix,
     row_update,
 )
-from repro.rings import REAL_RING
 
 
 @pytest.fixture

@@ -10,7 +10,7 @@ from repro.apps.regression import least_squares_from_moments
 from repro.data import Database, Relation
 from repro.rings import CofactorRing
 
-from tests.conftest import PAPER_SCHEMAS, paper_variable_order, random_delta
+from tests.conftest import PAPER_SCHEMAS, paper_variable_order
 
 
 def join_design_matrix(rows, columns):
@@ -128,7 +128,6 @@ class TestTraining:
             assert np.allclose(trained.theta, theta_np, atol=1e-8), label
 
     def test_training_on_empty_join_rejected(self):
-        ring = CofactorRing(3)
         empty = CofactorModel(
             "reg", PAPER_SCHEMAS, NUMERIC, order=paper_variable_order()
         )

@@ -1,17 +1,15 @@
 """Tests for SQL-OPT (degree-ring cofactor maintenance) and the scalar bank."""
 
-import random
 
 import numpy as np
-import pytest
 
 from repro.apps import CofactorModel
 from repro.baselines import FirstOrderIVM, ScalarAggregateBank, SQLOptCofactor
 from repro.core import Query
 from repro.data import Relation
-from repro.rings import INT_RING, Lifting, RealRing
+from repro.rings import Lifting, RealRing
 
-from tests.conftest import PAPER_SCHEMAS, paper_variable_order, random_delta
+from tests.conftest import PAPER_SCHEMAS, paper_variable_order
 
 NUMERIC = ("B", "D", "E")
 

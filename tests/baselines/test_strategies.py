@@ -1,6 +1,5 @@
 """Cross-strategy agreement: every baseline must match F-IVM and recompute."""
 
-import random
 
 import pytest
 

@@ -18,7 +18,6 @@ from repro.core import (
     Query,
     VariableOrder,
     build_view_tree,
-    materialization_flags,
 )
 from repro.data import Database, Relation
 from repro.rings import (
@@ -34,7 +33,6 @@ from repro.rings import (
 from tests.conftest import (
     PAPER_SCHEMAS,
     figure2_database,
-    make_database,
     paper_variable_order,
     random_delta,
     recompute,
@@ -108,7 +106,6 @@ class TestInvariantAcrossRings:
     def test_matrix_ring_non_commutative(self, rng):
         """Payload multiplication order must follow child order."""
         ring = SquareMatrixRing(2)
-        np_rng = np.random.default_rng(3)
         lifting = Lifting(ring, {
             "B": lambda x: np.eye(2) + 0.1 * x * np.array([[0.0, 1], [0, 0]]),
             "D": lambda x: np.eye(2) + 0.1 * x * np.array([[0.0, 0], [1, 0]]),

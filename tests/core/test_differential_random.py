@@ -12,6 +12,9 @@ view:
   compiled factorized path and its shared probe cache,
 * the dict-binding/relational-ops interpreter (``compiled=False``), the
   reference semantics,
+* the hash-partitioned :class:`ShardedFIVMEngine` (three shards, inline
+  executor, shard-key defaulted to the variable-order root) — per-update
+  merged root deltas and final merged views,
 * :class:`RecursiveIVM` (the DBToaster-style baseline) on commutative
   rings, plus from-scratch factorized recomputation on every ring.
 
@@ -20,10 +23,16 @@ rings under a fixed seed.  On divergence the harness *shrinks* the failing
 case — dropping events, then single keys inside deltas, while the failure
 persists — and fails with the minimal stream printed, ready to paste into a
 regression test.
+
+``FIVM_DIFF_STREAMS_PER_RING`` scales the stream count per ring family
+(default 40 → 200 streams total); the scheduled nightly CI job elevates it
+to 200 (1000 streams) to sweep a wider seed range than per-push CI can
+afford.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from pprint import pformat
 from typing import Dict, List, Optional, Tuple
@@ -32,7 +41,13 @@ import numpy as np
 import pytest
 
 from repro.baselines.recursive import RecursiveIVM
-from repro.core import FIVMEngine, FactorizedUpdate, Query, VariableOrder
+from repro.core import (
+    FIVMEngine,
+    FactorizedUpdate,
+    Query,
+    ShardedFIVMEngine,
+    VariableOrder,
+)
 from repro.data import Database, Relation
 from repro.rings import (
     CofactorRing,
@@ -49,7 +64,10 @@ from tests.conftest import recompute
 
 #: Fixed base seed: every CI run replays the exact same ≥200 streams.
 BASE_SEED = 0xF1B2
-STREAMS_PER_RING = 40
+#: Streams per ring family; the nightly CI job raises this via the
+#: environment (FIVM_DIFF_STREAMS_PER_RING=200 → 1000 streams) while
+#: per-push runs keep the fast default.
+STREAMS_PER_RING = int(os.environ.get("FIVM_DIFF_STREAMS_PER_RING", "40"))
 
 ATTR_POOL = ("A", "B", "C", "D", "E")
 
@@ -253,6 +271,9 @@ def run_case(case: dict, ring_family) -> Optional[str]:
     order = VariableOrder.auto(make_query("o"))
     compiled = FIVMEngine(make_query("c"), order, compiled=True)
     interp = FIVMEngine(make_query("i"), order, compiled=False)
+    sharded = ShardedFIVMEngine(
+        make_query("s"), order, shards=3, executor="inline"
+    )
     recursive = RecursiveIVM(make_query("r")) if commutative else None
     db = Database(
         Relation(rel, schema, ring) for rel, schema in schemas.items()
@@ -272,16 +293,18 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             )
             root_c = compiled.apply_update(delta.copy())
             root_i = interp.apply_update(delta.copy())
+            root_s = sharded.apply_update(delta.copy())
             rec_total = recursive_apply(delta)
             db.apply_update(delta)
         elif kind == "batch":
-            items_c, items_i = [], []
+            items_c, items_i, items_s = [], [], []
             flats = []
             for item in event["items"]:
                 rel = item["rel"]
                 if item["kind"] == "factorized":
                     items_c.append(_as_factorized(rel, ring, item["terms"]))
                     items_i.append(_as_factorized(rel, ring, item["terms"]))
+                    items_s.append(_as_factorized(rel, ring, item["terms"]))
                     flats.append(
                         _as_factorized(rel, ring, item["terms"]).flatten(
                             schemas[rel], name=rel
@@ -291,9 +314,11 @@ def run_case(case: dict, ring_family) -> Optional[str]:
                     delta = _as_delta(rel, schemas[rel], ring, item["data"])
                     items_c.append(delta.copy())
                     items_i.append(delta.copy())
+                    items_s.append(delta.copy())
                     flats.append(delta)
             root_c = compiled.apply_batch(items_c)
             root_i = interp.apply_batch(items_i)
+            root_s = sharded.apply_batch(items_s)
             for flat in flats:
                 contribution = recursive_apply(flat)
                 if contribution is not None:
@@ -308,8 +333,10 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             rel = event["rel"]
             update_c = _as_factorized(rel, ring, event["terms"])
             update_i = _as_factorized(rel, ring, event["terms"])
+            update_s = _as_factorized(rel, ring, event["terms"])
             root_c = compiled.apply_factorized_update(update_c)
             root_i = interp.apply_factorized_update(update_i)
+            root_s = sharded.apply_factorized_update(update_s)
             flat = _as_factorized(rel, ring, event["terms"]).flatten(
                 schemas[rel], name=rel
             )
@@ -322,6 +349,7 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             delta = _as_delta(rel, schemas[rel], ring, event["data"])
             root_c = compiled.apply_decomposed_update(delta.copy())
             root_i = interp.apply_decomposed_update(delta.copy())
+            root_s = sharded.apply_decomposed_update(delta.copy())
             rec_total = recursive_apply(delta)
             db.apply_update(delta)
         else:  # pragma: no cover - generator bug guard
@@ -329,6 +357,8 @@ def run_case(case: dict, ring_family) -> Optional[str]:
 
         if not root_c.same_as(root_i.rename({}, name=root_c.name)):
             return f"step {step} ({kind}): compiled root delta != interpreter"
+        if not root_c.same_as(root_s.rename({}, name=root_c.name)):
+            return f"step {step} ({kind}): compiled root delta != sharded"
         if rec_total is not None:
             rec_cmp = rec_total.reorder(root_c.schema, name=root_c.name)
             if not root_c.same_as(rec_cmp):
@@ -339,6 +369,12 @@ def run_case(case: dict, ring_family) -> Optional[str]:
     for name, contents in compiled.views.items():
         if not contents.same_as(interp.views[name]):
             return f"final view {name}: compiled != interpreter"
+    sharded_views = sharded.merged_views()
+    for name, contents in compiled.views.items():
+        if not contents.same_as(
+            sharded_views[name].rename({}, name=contents.name)
+        ):
+            return f"final view {name}: compiled != sharded merge"
     if recursive is not None:
         rec_result = recursive.result().reorder(
             compiled.result().schema, name=compiled.result().name

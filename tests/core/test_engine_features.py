@@ -1,8 +1,6 @@
 """Engine feature tests: group-aware joins, decomposed updates, plans."""
 
-import random
 
-import pytest
 
 from repro.core import FIVMEngine, Query, VariableOrder
 from repro.data import Database, Relation

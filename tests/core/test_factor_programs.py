@@ -9,7 +9,6 @@ plus the probe-cache sharing/invalidation contract.
 
 import random
 
-import pytest
 
 from repro.core import FIVMEngine, FactorizedUpdate, Query, VariableOrder
 from repro.core.plan_exec import compile_factor_program
@@ -256,3 +255,60 @@ class TestPristineSiblingCollapse:
             expected, ring.mul(ring.from_int(5), ring.lift(0)(4))
         )
         assert ring.eq(flat3[(9,)], expected3)
+
+
+class TestCanonicalPartitions:
+    def test_permuted_factor_orders_share_one_program(self):
+        """Two rank-1 updates whose factor lists are permutations of each
+        other must hit one compiled program per node, not two: the engine
+        canonicalizes the partition (factor schemas sorted) before the
+        cache lookup.  Results stay differentially equal either way."""
+        def make(compiled):
+            q = Query(
+                "perm", {"R": ("A", "V", "W"), "S": ("V", "W")},
+                free=("A",), ring=INT_RING,
+            )
+            return FIVMEngine(
+                q, VariableOrder.from_spec(("A", [("W", ["V"])])),
+                compiled=compiled,
+            )
+
+        compiled = make(True)
+        interp = make(False)
+        ring = INT_RING
+        compiled.apply_update(Relation(
+            "S", ("V", "W"), ring, {(1, 5): 1, (2, 6): 2}
+        ))
+        interp.apply_update(Relation(
+            "S", ("V", "W"), ring, {(1, 5): 1, (2, 6): 2}
+        ))
+
+        def factors():
+            return {
+                "A": Relation("uA", ("A",), ring, {(1,): 2}),
+                "V": Relation("uV", ("V",), ring, {(1,): 1, (2,): 1}),
+                "W": Relation("uW", ("W",), ring, {(5,): 1, (6,): -1}),
+            }
+
+        for permutation in (("A", "V", "W"), ("W", "A", "V"), ("V", "W", "A")):
+            fs = factors()
+            update = FactorizedUpdate.rank_one(
+                "R", [fs[name] for name in permutation]
+            )
+            root_c = compiled.apply_factorized_update(update)
+            root_i = interp.apply_factorized_update(
+                update_copy(update, ring)
+            )
+            assert root_c.same_as(root_i.rename({}, name=root_c.name))
+            # One program per (node, source): permutations reuse the first
+            # compile instead of growing the cache.
+            per_site = {}
+            for (node, source, partition) in compiled._factor_programs:
+                per_site.setdefault((node, source), []).append(partition)
+            for site, partitions in per_site.items():
+                assert len(partitions) == 1, (
+                    f"{site} compiled duplicate programs for permuted "
+                    f"partitions: {partitions}"
+                )
+        for name, contents in compiled.views.items():
+            assert contents.same_as(interp.views[name]), name

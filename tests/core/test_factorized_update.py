@@ -4,14 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import FIVMEngine, FactorizedUpdate, Query, decompose
-from repro.data import Database, Relation, SchemaError
+from repro.data import Relation, SchemaError
 from repro.rings import INT_RING, REAL_RING, SquareMatrixRing
 
 from tests.conftest import (
     PAPER_SCHEMAS,
     figure2_database,
     paper_variable_order,
-    recompute,
 )
 
 
@@ -199,7 +198,6 @@ class TestEnginePropagation:
         """Example 5.2: δS = δSA ⊗ δSC ⊗ δSE propagates as three factors and
         the root delta is correct."""
         q, order, factored, _ = self._engines()
-        db = figure2_database()
         update = FactorizedUpdate.rank_one("S", [
             unary("uA", "A", {("a1",): 1}),
             unary("uC", "C", {("c1",): 1}),

@@ -1,6 +1,5 @@
 """Failure injection: error paths and no-residue invariants."""
 
-import random
 
 import pytest
 

@@ -11,7 +11,7 @@ updates are applied to each instance in turn.
 import pytest
 
 from repro.core import FIVMEngine, Query, VariableOrder, build_view_tree
-from repro.data import Database, Relation, SchemaError
+from repro.data import Database, Relation
 from repro.rings import INT_RING
 
 from tests.conftest import recompute

@@ -1,0 +1,404 @@
+"""Shard-merge equivalence: the sharded engine vs the single engine.
+
+The differential contract (see the module docstring of
+:mod:`repro.core.sharded`): for every ring, every update path, and every
+partitioning shape — balanced, skewed onto one shard, shards left empty —
+the hash-partitioned engine's per-update root deltas, final materialized
+views, and totals must equal the single-engine run key for key.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FIVMEngine,
+    FactorizedUpdate,
+    Query,
+    ShardedFIVMEngine,
+    VariableOrder,
+)
+from repro.core.sharded import stable_hash
+from repro.data import Database, Relation
+from repro.rings import (
+    CofactorRing,
+    DegreeRing,
+    INT_RING,
+    IntegerRing,
+    Lifting,
+    ProductRing,
+    RealRing,
+    SquareMatrixRing,
+)
+
+SCHEMAS = {"R": ("A", "B"), "S": ("A", "C"), "T": ("C", "D")}
+
+
+def _int_family(attrs):
+    return INT_RING, {}
+
+
+def _degree_family(attrs):
+    ring = DegreeRing(len(attrs))
+    return ring, {a: ring.lift(i) for i, a in enumerate(attrs) if i % 2 == 0}
+
+
+def _product_family(attrs):
+    ring = ProductRing([IntegerRing(), RealRing()])
+
+    def lift(value):
+        return (1, 1.0 + 0.5 * float(value))
+
+    return ring, {a: lift for i, a in enumerate(attrs) if i % 2 == 1}
+
+
+def _cofactor_family(attrs):
+    ring = CofactorRing(len(attrs))
+    return ring, {a: ring.lift(i) for i, a in enumerate(attrs) if i % 2 == 1}
+
+
+def _matrix_family(attrs):
+    ring = SquareMatrixRing(2)
+    upper = np.array([[0.0, 1.0], [0.0, 0.0]])
+
+    def make_lift(direction):
+        return lambda x: np.eye(2) + 0.1 * float(x) * direction
+
+    return ring, {a: make_lift(upper) for i, a in enumerate(attrs) if i % 2}
+
+
+RING_FAMILIES = {
+    "int": _int_family,
+    "degree": _degree_family,
+    "product": _product_family,
+    "cofactor": _cofactor_family,
+    "matrix": _matrix_family,
+}
+
+
+def make_pair(ring_family, shards=4, free=("B",), executor="inline",
+              shard_key=None, schemas=SCHEMAS):
+    attrs = tuple(sorted({a for s in schemas.values() for a in s}))
+    ring, lifts = ring_family(attrs)
+    lifting = Lifting(ring, lifts)
+
+    def query(tag):
+        return Query(f"Q{tag}", schemas, free=free, ring=ring, lifting=lifting)
+
+    order = VariableOrder.auto(query("o"))
+    single = FIVMEngine(query("1"), order)
+    sharded = ShardedFIVMEngine(
+        query("s"), order, shards=shards, executor=executor,
+        shard_key=shard_key,
+    )
+    return single, sharded, ring
+
+
+def assert_equal_state(single: FIVMEngine, sharded: ShardedFIVMEngine):
+    merged = sharded.merged_views()
+    assert set(merged) == set(single.views)
+    for name, contents in single.views.items():
+        assert contents.same_as(merged[name].rename({}, name=name)), (
+            f"view {name} diverged between sharded and single engine"
+        )
+    result = single.result()
+    assert result.same_as(sharded.result().rename({}, name=result.name))
+
+
+def drive_stream(single, sharded, ring, seed=0, steps=25, domain=4):
+    """Random single-relation updates through both engines, checking every
+    root delta; returns nothing — divergence fails inside."""
+    rng = random.Random(seed)
+    for step in range(steps):
+        rel = rng.choice(sorted(SCHEMAS))
+        data = {
+            tuple(rng.randint(0, domain - 1) for _ in SCHEMAS[rel]):
+                ring.from_int(rng.choice([1, 1, 2, -1]))
+            for _ in range(rng.randint(1, 3))
+        }
+        delta = Relation(rel, SCHEMAS[rel], ring, data)
+        expected = single.apply_update(delta.copy())
+        got = sharded.apply_update(delta.copy())
+        assert expected.same_as(got.rename({}, name=expected.name)), (
+            f"[seed {seed}] root delta diverged at step {step}"
+        )
+
+
+@pytest.mark.parametrize("ring_name", sorted(RING_FAMILIES))
+def test_sharded_equals_single_on_every_ring(ring_name):
+    single, sharded, ring = make_pair(RING_FAMILIES[ring_name], shards=4)
+    drive_stream(single, sharded, ring, seed=7)
+    assert_equal_state(single, sharded)
+
+
+def test_single_shard_degenerates_to_routed_engine():
+    single, sharded, ring = make_pair(_int_family, shards=1)
+    drive_stream(single, sharded, ring, seed=1)
+    assert_equal_state(single, sharded)
+
+
+def test_skewed_partition_and_empty_shards():
+    """All tuples carry one shard-key value: one shard absorbs the whole
+    stream, the others stay empty — merge must still be exact."""
+    single, sharded, ring = make_pair(_int_family, shards=5)
+    hot = 3  # every B lands here; A/C/D vary freely
+    rng = random.Random(11)
+    for _ in range(15):
+        rel = rng.choice(sorted(SCHEMAS))
+        key = tuple(
+            hot if attr == "B" else rng.randint(0, 3)
+            for attr in SCHEMAS[rel]
+        )
+        delta = Relation(rel, SCHEMAS[rel], ring, {key: rng.choice([1, -1, 2])})
+        expected = single.apply_update(delta.copy())
+        got = sharded.apply_update(delta.copy())
+        assert expected.same_as(got.rename({}, name=expected.name))
+    assert_equal_state(single, sharded)
+    # The partitioned relation's fragments really are skewed: exactly one
+    # shard holds keys, and shard count exceeding the key space left the
+    # rest empty.
+    populated = [
+        shard for shard, engine in enumerate(sharded._exec.engines)
+        if len(engine.views["R"]) > 0
+    ]
+    assert populated == [stable_hash(hot) % 5]
+
+
+def test_factorized_update_routing():
+    """Rank-r updates: the factor carrying the shard key is split, other
+    factors ride along; totals and state match the single engine."""
+    single, sharded, ring = make_pair(_cofactor_family, shards=3)
+    # Preload some context so propagation meets non-trivial siblings.
+    drive_stream(single, sharded, ring, seed=3, steps=10)
+    rng = random.Random(5)
+    for rank in (1, 2):
+        terms = []
+        for _ in range(rank):
+            u = Relation(
+                "R_u", ("A",), ring,
+                {(rng.randint(0, 3),): ring.from_int(rng.choice([1, 2]))},
+            )
+            v = Relation(
+                "R_v", ("B",), ring,
+                {
+                    (rng.randint(0, 3),): ring.from_int(1),
+                    (rng.randint(0, 3),): ring.from_int(-1),
+                },
+            )
+            terms.append([u, v])
+        update = FactorizedUpdate("R", terms, ring=ring)
+        copy = FactorizedUpdate(
+            "R", [[f.copy() for f in t] for t in terms], ring=ring
+        )
+        expected = single.apply_factorized_update(update)
+        got = sharded.apply_factorized_update(copy)
+        assert expected.same_as(got.rename({}, name=expected.name))
+    assert_equal_state(single, sharded)
+
+
+def test_factorized_update_to_replicated_relation_broadcasts():
+    single, sharded, ring = make_pair(_int_family, shards=3)
+    # T does not contain the shard key (B): the update must broadcast.
+    assert "T" in sharded.replicated
+    u = Relation("T_u", ("C",), ring, {(1,): 2, (2,): 1})
+    v = Relation("T_v", ("D",), ring, {(0,): 1})
+    update = FactorizedUpdate("T", [[u, v]])
+    expected = single.apply_factorized_update(update)
+    got = sharded.apply_factorized_update(
+        FactorizedUpdate("T", [[u.copy(), v.copy()]])
+    )
+    assert expected.same_as(got.rename({}, name=expected.name))
+    assert_equal_state(single, sharded)
+
+
+def test_rank_zero_factorized_update_is_a_noop():
+    single, sharded, ring = make_pair(_int_family, shards=2)
+    update = FactorizedUpdate("R", [], ring=ring)
+    expected = single.apply_factorized_update(update)
+    got = sharded.apply_factorized_update(
+        FactorizedUpdate("R", [], ring=ring)
+    )
+    assert expected.same_as(got.rename({}, name=expected.name))
+    assert got.is_empty
+
+
+def test_apply_batch_mixed_items():
+    single, sharded, ring = make_pair(_int_family, shards=4)
+    rng = random.Random(13)
+    for _ in range(6):
+        items_single, items_sharded = [], []
+        for _ in range(rng.randint(2, 4)):
+            rel = rng.choice(sorted(SCHEMAS))
+            if rel == "R" and rng.random() < 0.4:
+                u = Relation(
+                    "R_u", ("A",), ring, {(rng.randint(0, 3),): 1}
+                )
+                v = Relation(
+                    "R_v", ("B",), ring, {(rng.randint(0, 3),): rng.choice([1, -1])}
+                )
+                items_single.append(FactorizedUpdate("R", [[u, v]]))
+                items_sharded.append(
+                    FactorizedUpdate("R", [[u.copy(), v.copy()]])
+                )
+            else:
+                data = {
+                    tuple(rng.randint(0, 3) for _ in SCHEMAS[rel]):
+                        rng.choice([1, 2, -1])
+                    for _ in range(rng.randint(1, 3))
+                }
+                delta = Relation(rel, SCHEMAS[rel], ring, data)
+                items_single.append(delta.copy())
+                items_sharded.append(delta)
+        expected = single.apply_batch(items_single)
+        got = sharded.apply_batch(items_sharded)
+        assert expected.same_as(got.rename({}, name=expected.name))
+    assert_equal_state(single, sharded)
+
+
+def test_apply_decomposed_update_routes_through_factors():
+    single, sharded, ring = make_pair(_int_family, shards=3)
+    # A rank-1-decomposable delta: {1,2} x {0,3} on (A, B).
+    data = {(a, b): 2 for a in (1, 2) for b in (0, 3)}
+    delta = Relation("R", SCHEMAS["R"], ring, data)
+    expected = single.apply_decomposed_update(delta.copy())
+    got = sharded.apply_decomposed_update(delta.copy())
+    assert expected.same_as(got.rename({}, name=expected.name))
+    assert_equal_state(single, sharded)
+
+
+def test_initialize_partitions_a_database_snapshot():
+    single, sharded, ring = make_pair(_int_family, shards=4)
+    rng = random.Random(17)
+    db = Database(
+        Relation(
+            rel, schema, ring,
+            {
+                tuple(rng.randint(0, 4) for _ in schema): rng.choice([1, 2])
+                for _ in range(8)
+            },
+        )
+        for rel, schema in SCHEMAS.items()
+    )
+    single.initialize(db)
+    sharded.initialize(db)
+    assert_equal_state(single, sharded)
+    # And updates on top of the loaded state still agree.
+    drive_stream(single, sharded, ring, seed=19, steps=8)
+    assert_equal_state(single, sharded)
+
+
+def test_replicated_only_views_are_read_once():
+    """A view over a purely replicated subtree is identical per shard; the
+    merge must take one copy, not the S-fold sum."""
+    single, sharded, ring = make_pair(_int_family, shards=3)
+    assert "T" in sharded.replicated
+    delta = Relation("T", SCHEMAS["T"], ring, {(1, 2): 5})
+    single.apply_update(delta.copy())
+    sharded.apply_update(delta.copy())
+    # The stored leaf copy of T is replicated-only.
+    leaf_name = sharded.tree.leaves["T"].name
+    if sharded.flags[leaf_name]:
+        assert leaf_name not in sharded._summed
+        merged = sharded.contents(leaf_name)
+        assert merged.same_as(
+            single.views[leaf_name].rename({}, name=leaf_name)
+        )
+
+
+def test_explicit_shard_key_and_validation_errors():
+    ring = INT_RING
+    q = Query("q", SCHEMAS, ring=ring)
+    order = VariableOrder.auto(q)
+    with pytest.raises(ValueError, match="not a query variable"):
+        ShardedFIVMEngine(q, order, shards=2, shard_key="Z")
+    with pytest.raises(ValueError, match="shard count"):
+        ShardedFIVMEngine(q, order, shards=0)
+    engine = ShardedFIVMEngine(q, order, shards=2, shard_key="C")
+    assert engine.partitioned == frozenset({"S", "T"})
+    assert engine.replicated == frozenset({"R"})
+    with pytest.raises(KeyError):
+        engine.apply_update(
+            Relation("Nope", ("A",), ring, {(1,): 1})
+        )
+    with pytest.raises(ValueError):
+        engine.apply_update(Relation("R", ("A",), ring, {(1,): 1}))
+
+
+def test_inline_shards_share_one_program_library():
+    _, sharded, _ = make_pair(_int_family, shards=3)
+    libraries = {id(e._library) for e in sharded._exec.engines}
+    assert len(libraries) == 1
+    assert sharded._exec.engines[0]._library is not None
+    assert len(sharded._exec.engines[0]._library) > 0
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process executor needs the fork start method",
+)
+def test_process_executor_matches_single_engine():
+    single, sharded, ring = make_pair(
+        _cofactor_family, shards=2, executor="process"
+    )
+    try:
+        assert sharded.executor == "process"
+        drive_stream(single, sharded, ring, seed=23, steps=12)
+        # Batched + factorized over the wire too.
+        u = Relation("R_u", ("A",), ring, {(1,): ring.from_int(2)})
+        v = Relation("R_v", ("B",), ring, {(2,): ring.from_int(1)})
+        items = [
+            Relation("S", SCHEMAS["S"], ring, {(1, 2): ring.from_int(1)}),
+            FactorizedUpdate("R", [[u, v]], ring=ring),
+        ]
+        expected = single.apply_batch(
+            [items[0].copy(), FactorizedUpdate(
+                "R", [[u.copy(), v.copy()]], ring=ring
+            )]
+        )
+        got = sharded.apply_batch(items)
+        assert expected.same_as(got.rename({}, name=expected.name))
+        assert_equal_state(single, sharded)
+        assert sharded.total_keys() > 0
+        assert sharded.logical_scalars() > 0
+    finally:
+        sharded.close()
+
+
+def test_stable_hash_agrees_with_dict_key_equality():
+    """True, 1, and 1.0 are the same dict key; routing must agree, or
+    cross-typed join values silently land in different shards."""
+    for shards in (2, 3, 5, 7):
+        assert (
+            stable_hash(True) % shards
+            == stable_hash(1) % shards
+            == stable_hash(1.0) % shards
+        )
+        assert stable_hash(2.0) % shards == stable_hash(2) % shards
+    # And an end-to-end mixed-type stream stays equivalent.
+    single, sharded, ring = make_pair(_int_family, shards=3)
+    for value in (1, 1.0, True, 2, 2.0):
+        delta = Relation("R", SCHEMAS["R"], ring, {(0, value): 1})
+        expected = single.apply_update(delta.copy())
+        got = sharded.apply_update(delta.copy())
+        assert expected.same_as(got.rename({}, name=expected.name))
+    assert_equal_state(single, sharded)
+
+
+def test_batch_rejects_factorized_items_on_noncommutative_rings_up_front():
+    """The up-front validation contract: a factorized item on a matrix
+    ring must fail before any shard absorbs anything."""
+    single, sharded, ring = make_pair(_matrix_family, shards=2)
+    good = Relation("S", SCHEMAS["S"], ring, {(1, 2): ring.from_int(1)})
+    u = Relation("R_u", ("A",), ring, {(1,): ring.from_int(1)})
+    v = Relation("R_v", ("B",), ring, {(2,): ring.from_int(1)})
+    bad = FactorizedUpdate("R", [[u, v]], ring=ring)
+    for engine in (single, sharded):
+        with pytest.raises(ValueError, match="commutative"):
+            engine.apply_batch([good.copy(), bad])
+    # Nothing was applied anywhere — states still match (and are empty).
+    assert_equal_state(single, sharded)
+    assert single.result().is_empty

@@ -1,6 +1,5 @@
 """Tests for variable orders (Definition 3.1)."""
 
-import random
 
 import pytest
 

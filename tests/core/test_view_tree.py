@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Query, VariableOrder, build_view_tree
-from repro.data import Relation, SchemaError
+from repro.data import SchemaError
 from repro.rings import INT_RING, Lifting
 
 from tests.conftest import (

@@ -1,6 +1,5 @@
 """Tests for per-bucket payload sums (group-aware join support)."""
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for relations over rings: the ⊎ ⊗ ⊕ operator semantics."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

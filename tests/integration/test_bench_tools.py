@@ -14,7 +14,7 @@ from repro.baselines import FirstOrderIVM, RecursiveIVM
 from repro.core import FIVMEngine, Query
 from repro.data import Relation
 from repro.datasets import UpdateBatch, UpdateStream
-from repro.rings import INT_RING, CofactorRing, RelationalRing
+from repro.rings import INT_RING, CofactorRing
 
 from tests.conftest import PAPER_SCHEMAS, paper_variable_order
 
@@ -35,7 +35,6 @@ class TestPayloadScalars:
         assert payload_scalars(ring.lift(3)(2.0)) == 3  # c + 1-vec + 1x1
 
     def test_nested_relation(self):
-        ring = RelationalRing()
         payload = Relation("p", ("X",), INT_RING, {(1,): 1, (2,): 3})
         assert payload_scalars(payload) == 4  # 2 keys × (1 attr + 1 payload)
 

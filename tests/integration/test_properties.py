@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps import ConjunctiveQuery
-from repro.core import FIVMEngine, Query, VariableOrder
+from repro.core import FIVMEngine, Query
 from repro.data import Database, Relation
 from repro.rings import INT_RING, Lifting, RealRing
 

@@ -1,16 +1,14 @@
 """End-to-end stream maintenance over the paper's workloads."""
 
-import pytest
 
 from repro.apps import CofactorModel, ConjunctiveQuery
-from repro.baselines import FirstOrderIVM, RecursiveIVM
+from repro.baselines import RecursiveIVM
 from repro.core import (
     FIVMEngine,
     Query,
     add_indicator_projections,
     build_view_tree,
 )
-from repro.data import Relation
 from repro.datasets import housing, retailer, round_robin_stream, twitter
 from repro.rings import INT_RING
 

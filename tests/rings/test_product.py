@@ -45,7 +45,6 @@ class TestProductRing:
 
     def test_maintains_two_sums_at_once(self):
         """A COUNT and a SUM maintained as one compound payload."""
-        from repro.rings import Lifting
 
         ring = ProductRing([INT_RING, INT_RING])
         lift = lambda x: (1, x)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.data import SchemaError
 from repro.rings import (
-    INT_RING,
     RelationalRing,
     bound_lift,
     check_ring_axioms,
