@@ -123,6 +123,7 @@ class MatrixChainIVM:
         use_optimal_order: bool = True,
         ring=REAL_RING,
         compiled: bool = True,
+        backend=None,
     ):
         self.k = len(matrices)
         if self.k < 1:
@@ -142,7 +143,8 @@ class MatrixChainIVM:
             for i, matrix in enumerate(matrices)
         )
         self.engine = FIVMEngine(
-            self.query, order, updatable=updatable, db=db, compiled=compiled
+            self.query, order, updatable=updatable, db=db, compiled=compiled,
+            backend=backend,
         )
 
     def apply_rank_one(self, index: int, u: np.ndarray, v: np.ndarray) -> None:

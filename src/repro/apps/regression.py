@@ -118,6 +118,7 @@ class CofactorModel:
         tree: Optional[ViewTree] = None,
         db: Optional[Database] = None,
         compiled: bool = True,
+        backend: Optional[str] = None,
     ):
         self.query = cofactor_query(name, relations, numeric_variables, free)
         self.numeric_variables = tuple(numeric_variables)
@@ -126,7 +127,7 @@ class CofactorModel:
         }
         self.engine = FIVMEngine(
             self.query, order=order, updatable=updatable, tree=tree, db=db,
-            compiled=compiled,
+            compiled=compiled, backend=backend,
         )
 
     # ------------------------------------------------------------------

@@ -25,11 +25,15 @@ What is ratcheted — and what deliberately is not:
 Run as::
 
     PYTHONPATH=src python -m repro.bench.regression --fresh fresh/ \
-        [--baseline benchmarks/results] [--tolerance 0.15]
+        [--baseline benchmarks/results] [--tolerance 0.15] \
+        [--update-baselines]
 
 Exit status 0 when every present metric holds, 1 otherwise.  Fresh files
-without a committed baseline (a brand-new bench) pass with a notice —
-commit the fresh JSON to start ratcheting it.
+without a committed baseline (a brand-new bench), and baselines written
+before a newly added metric existed, pass with a warn-and-record notice —
+commit the fresh JSON (or run with ``--update-baselines``, which copies
+every registered fresh file over the baseline directory) to start
+ratcheting.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-__all__ = ["compare", "main"]
+__all__ = ["compare", "update_baselines", "main"]
 
 #: filename -> list of (json path, kind, cpu_guard) to enforce.  ``kind``
 #: is "ratio" (tolerance-banded, higher is better) or "flag" (must be
@@ -60,6 +64,9 @@ METRICS = {
     "BENCH_shard_scaling.json": [
         (("merge_equal",), "flag", False),
         (("speedup", "one", "S=4"), "ratio", True),
+    ],
+    "BENCH_ablation_kernel_backend.json": [
+        (("speedup",), "ratio", False),
     ],
 }
 
@@ -98,10 +105,19 @@ def compare(
         if not baseline_path.exists():
             lines.append(
                 f"{filename}: no committed baseline — skipping ratchet "
-                "(commit the fresh JSON to start one)"
+                "(commit the fresh JSON or rerun with --update-baselines)"
             )
             continue
-        baseline = json.loads(baseline_path.read_text())
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except ValueError:
+            # A corrupt baseline must not mask a fresh run: record every
+            # fresh value and move on (regenerate the baseline to ratchet).
+            lines.append(
+                f"warn {filename}: baseline is not valid JSON — recording "
+                "fresh values without ratcheting"
+            )
+            baseline = {}
         fresh_cpus = fresh.get("cpu_count", 1)
         base_cpus = baseline.get("cpu_count", 1)
         for path, kind, cpu_guard in metrics:
@@ -118,7 +134,13 @@ def compare(
                     lines.append(f"ok   {label} = {fresh_value}")
                 continue
             if base_value is None:
-                lines.append(f"new  {label} = {fresh_value:.3f} (no baseline)")
+                # A baseline written before this metric existed: warn and
+                # record the fresh value instead of failing — regenerating
+                # the baseline (e.g. --update-baselines) starts the ratchet.
+                lines.append(
+                    f"warn {label} = {fresh_value:.3f} (baseline lacks this "
+                    "metric; recorded, not ratcheted)"
+                )
                 continue
             if cpu_guard and fresh_cpus < base_cpus:
                 lines.append(
@@ -145,6 +167,24 @@ def compare(
     return failures
 
 
+def update_baselines(fresh_dir: Path, baseline_dir: Path) -> List[str]:
+    """Copy every registered fresh ``BENCH_*.json`` over the baselines.
+
+    The explicit refresh path for intentional perf-trajectory changes
+    (new metrics, reworked strategies): after this, the next ratchet run
+    compares against today's numbers.  Returns the copied filenames.
+    """
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    copied: List[str] = []
+    for filename in METRICS:
+        fresh_path = fresh_dir / filename
+        if not fresh_path.exists():
+            continue
+        (baseline_dir / filename).write_text(fresh_path.read_text())
+        copied.append(filename)
+    return copied
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -159,11 +199,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--tolerance", type=float, default=0.15,
         help="allowed fractional regression on ratio metrics (default 0.15)",
     )
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="copy the registered fresh files over the baseline directory "
+        "(prints the comparison for context, then exits 0)",
+    )
     args = parser.parse_args(argv)
     lines: List[str] = []
     failures = compare(args.fresh, args.baseline, args.tolerance, out=lines)
     for line in lines:
         print(line)
+    if args.update_baselines:
+        for filename in update_baselines(args.fresh, args.baseline):
+            print(f"updated baseline {args.baseline / filename}")
+        return 0
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
     return 1 if failures else 0

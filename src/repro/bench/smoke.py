@@ -4,15 +4,20 @@ Two guards, both designed for CI (small enough to finish in seconds, loud
 enough to catch a compiled-path performance regression; prints a JSON
 report so the numbers are machine-readable):
 
-* **flat path** — a tiny retailer cofactor stream through the slot-compiled
-  engine, the ``compiled=False`` interpreter, and the batched
-  ``apply_batch`` trigger; the compiled path must reach at least
-  ``MIN_RATIO`` × the interpreter's throughput (ratcheted to 1.0 once the
-  compiled path settled — compiled may never lose to the interpreter);
+* **flat path** — a tiny retailer stream, twice: the cofactor ring
+  through the generated source backend and the batched ``apply_batch``
+  trigger (throughput context for the trajectory), and a COUNT query
+  (ℤ ring) through the source and IR-interpreter backends.  The
+  ratcheted ``compiled_over_interpreter`` ratio comes from the COUNT
+  run: there trigger overhead — the thing code generation removes —
+  dominates, so the generated path must clear ``MIN_RATIO`` × the
+  interpreter with real headroom (on the cofactor ring both backends
+  pay the same ring arithmetic and sit within noise of each other,
+  which would make a floor there pure coin-flipping);
 * **factorized path** — rank-1 updates to the middle of a small matrix
-  chain through the compiled factor slot programs vs the generic
-  relational-ops ``_propagate_factored``; the compiled path must reach at
-  least ``MIN_FACTORIZED_RATIO`` × the generic path's update rate.
+  chain through the generated factor programs vs the IR-interpreter
+  factor path; the compiled path must reach at least
+  ``MIN_FACTORIZED_RATIO`` × the interpreter's update rate.
 
 Run as ``PYTHONPATH=src python -m repro.bench.smoke``.
 """
@@ -32,11 +37,14 @@ from repro.datasets.streams import round_robin_stream
 
 __all__ = ["run_smoke", "run_factorized_smoke", "main"]
 
-#: Compiled must reach at least this fraction of interpreter throughput.
-MIN_RATIO = 1.0
+#: The generated source backend must reach at least this multiple of the
+#: IR interpreter's throughput on the COUNT workload (measured ~2x; the
+#: floor leaves noise headroom while still catching a compiled path that
+#: loses its edge over the reference semantics).
+MIN_RATIO = 1.2
 
 #: The compiled factorized path must reach at least this fraction of the
-#: generic ``_propagate_factored`` update rate.
+#: IR-interpreter factor-program update rate.
 MIN_FACTORIZED_RATIO = 1.0
 
 
@@ -51,18 +59,30 @@ def _model(workload, compiled: bool = True) -> CofactorModel:
 
 
 def run_smoke(scale: float = 0.08, batch_size: int = 10, repeats: int = 5) -> dict:
-    """Measure compiled / interpreter / batched throughput on a tiny stream.
+    """Measure compiled / interpreter / batched throughput on tiny streams.
 
-    Takes the best of ``repeats`` runs per strategy to damp scheduler noise
-    (the 1.0× floor leaves little headroom on this tiny stream, so the runs
-    are interleaved and the best of five is compared); the streams are
-    identical, so results are directly comparable.
+    Takes the best of ``repeats`` interleaved runs per strategy to damp
+    scheduler noise; the streams are identical, so results are directly
+    comparable.  The cofactor runs are recorded for the trajectory; the
+    ratcheted compiled/interpreter ratio comes from the COUNT runs (see
+    the module docstring).
     """
+    from repro.core import FIVMEngine, Query
+    from repro.rings import INT_RING
+
     workload = retailer.generate(scale=scale, seed=7)
     stream = round_robin_stream(
         workload.schemas, workload.tables, batch_size=batch_size
     )
-    best = {"compiled": 0.0, "interpreter": 0.0, "batched": 0.0}
+
+    def count_engine(backend: str) -> FIVMEngine:
+        query = Query("smoke_count", workload.schemas, ring=INT_RING)
+        return FIVMEngine(query, workload.variable_order, backend=backend)
+
+    best = {
+        "compiled": 0.0, "batched": 0.0,
+        "count_compiled": 0.0, "count_interpreter": 0.0,
+    }
     for _ in range(repeats):
         compiled = _model(workload)
         result = run_stream(
@@ -71,24 +91,22 @@ def run_smoke(scale: float = 0.08, batch_size: int = 10, repeats: int = 5) -> di
         )
         best["compiled"] = max(best["compiled"], result.average_throughput)
 
-        interp = _model(workload, compiled=False)
-        result = run_stream(
-            "interpreter", interp.engine, stream, interp.query.ring,
-            checkpoints=2,
-        )
-        best["interpreter"] = max(
-            best["interpreter"], result.average_throughput
-        )
-
         batched = _model(workload)
         result = run_stream(
             "batched", batched.engine, stream, batched.query.ring,
             checkpoints=2, group=20,
         )
         best["batched"] = max(best["batched"], result.average_throughput)
+
+        for name, backend in (
+            ("count_compiled", "source"), ("count_interpreter", "interpreter")
+        ):
+            engine = count_engine(backend)
+            result = run_stream(name, engine, stream, INT_RING, checkpoints=2)
+            best[name] = max(best[name], result.average_throughput)
     ratio = (
-        best["compiled"] / best["interpreter"]
-        if best["interpreter"] > 0 else float("inf")
+        best["count_compiled"] / best["count_interpreter"]
+        if best["count_interpreter"] > 0 else float("inf")
     )
     factorized = run_factorized_smoke()
     ok = ratio >= MIN_RATIO and factorized["ok"]
@@ -103,8 +121,8 @@ def run_smoke(scale: float = 0.08, batch_size: int = 10, repeats: int = 5) -> di
 
 
 def run_factorized_smoke(n: int = 32, updates: int = 12, repeats: int = 3) -> dict:
-    """Rank-1 matrix-chain updates: compiled factor programs vs the generic
-    relational-ops factorized path, best of ``repeats``."""
+    """Rank-1 matrix-chain updates: generated factor programs vs the
+    IR-interpreter factor path, best of ``repeats``."""
     rng = np.random.default_rng(7)
     mats = [random_matrix(n, n, rng) for _ in range(3)]
     terms = rank_r_update(n, 1, rng) * updates

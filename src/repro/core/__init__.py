@@ -5,7 +5,7 @@ from repro.core.analysis import (
     is_q_hierarchical,
     update_cost_sketch,
 )
-from repro.core.engine import FIVMEngine
+from repro.core.engine import BACKENDS, FIVMEngine
 from repro.core.factorized_update import FactorizedUpdate, decompose
 from repro.core.hypergraph import (
     connected_components,
@@ -26,6 +26,7 @@ from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_vi
 
 __all__ = [
     "FIVMEngine",
+    "BACKENDS",
     "ShardedFIVMEngine",
     "stable_hash",
     "is_hierarchical",

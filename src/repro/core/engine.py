@@ -24,26 +24,34 @@ Delta propagation runs in three stages, all fixed at construction time:
    point, a greedy left-deep probe order over the node's stored siblings
    and indicators (a list of :class:`_PlanStep`), marks group-aware steps,
    and registers the secondary indexes the probes need;
-2. **slot program** — each plan is handed to
-   :func:`repro.core.plan_exec.compile_slot_program`, which assigns every
-   live attribute a fixed register, resolves probes to the target
-   relations' primary/index dictionaries, and emits a specialized Python
-   trigger function (zero dict allocation per delta tuple);
-3. **executor** — :meth:`_delta_at_node` dispatches to the compiled
-   trigger; ``FIVMEngine(compiled=False)`` falls back to
-   :meth:`_delta_at_node_interpreted`, the dict-binding interpreter kept
-   as the executable reference semantics (the differential tests hold the
-   two equal key-for-key on every ring).
+2. **IR** — each plan is lowered once to the typed delta-program IR of
+   :mod:`repro.core.ir` (:func:`~repro.core.ir.lower_delta_plan`): every
+   live attribute gets an explicit register, every probe an explicit op;
+3. **backend** — the IR is realized by the engine's *backend* (the
+   ``backend=`` parameter):
+
+   * ``"source"`` (default; ``compiled=True``) — generated Python
+     triggers (:mod:`repro.core.plan_exec`), zero dict allocation per
+     delta tuple, shard-shareable through a
+     :class:`~repro.core.plan_exec.ProgramLibrary`;
+   * ``"interpreter"`` (``compiled=False``) — the IR walked directly
+     (:mod:`repro.core.ir`), the executable reference semantics the
+     differential tests hold the other backends to;
+   * ``"kernels"`` — vectorized NumPy execution
+     (:mod:`repro.core.kernels`) for rings exposing array hooks
+     (``Ring.kernel_ops``); nodes over other rings fall back to
+     ``"source"`` per the backend policy.
 
 The factorized path is compiled the same way: each rank-1 term of a
-:class:`FactorizedUpdate` runs through one *factor slot program* per node
-(:func:`repro.core.plan_exec.compile_factor_program`), compiled lazily per
-``(node, source, factor partition)`` since partitions depend on the update
-stream, with :meth:`_propagate_factored` as the interpreted reference.
-Sibling collapses are memoized in a per-view **probe cache** shared across
-the terms of one update, the relations of one :meth:`apply_batch` pass,
-and consecutive updates; every view write invalidates that view's entries
-(:meth:`_invalidate`), which is what makes the sharing sound.
+:class:`FactorizedUpdate` runs through one *factor program* per node,
+lowered lazily per ``(node, source, factor partition)`` since partitions
+depend on the update stream, and realized by the same backend (the
+kernels backend reuses the generated-source factor programs).  Sibling
+collapses — including partial-match bucket probes, reduced to their
+surviving extends — are memoized in a per-view **probe cache** shared
+across the terms of one update, the relations of one :meth:`apply_batch`
+pass, and consecutive updates; every view write invalidates that view's
+entries (:meth:`_invalidate`), which is what makes the sharing sound.
 
 Batched-trigger contract
 ------------------------
@@ -65,11 +73,15 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.factorized_update import FactorizedUpdate
+from repro.core.ir import (
+    InterpreterDeltaProgram,
+    InterpreterFactorProgram,
+    lower_delta_plan,
+    lower_factor_plan,
+)
 from repro.core.materialization import delta_sources, materialization_flags
 from repro.core.plan_exec import (
-    FactorProgram,
     ProgramLibrary,
-    SlotProgram,
     canonical_partition,
     compile_factor_program,
     compile_slot_program,
@@ -80,9 +92,33 @@ from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_vi
 from repro.data.database import Database
 from repro.data.indicator import IndicatorView
 from repro.data.relation import Relation
-from repro.data.schema import merge_schemas
 
-__all__ = ["FIVMEngine", "check_delta", "check_factorized"]
+__all__ = [
+    "FIVMEngine",
+    "check_delta",
+    "check_factorized",
+    "BACKENDS",
+    "resolve_backend",
+]
+
+#: The trigger backends a :class:`FIVMEngine` can execute its delta
+#: programs with (see the module docstring).
+BACKENDS = ("interpreter", "source", "kernels")
+
+
+def resolve_backend(backend: Optional[str], compiled: bool) -> str:
+    """The one place the ``backend=`` / legacy ``compiled`` parameters are
+    reconciled and validated: ``backend`` wins; ``compiled`` maps ``True``
+    → ``"source"`` and ``False`` → ``"interpreter"``.  Shared by
+    :class:`FIVMEngine` and the sharding facade so the two can never
+    disagree about what a parameter combination means."""
+    if backend is None:
+        backend = "source" if compiled else "interpreter"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
 
 #: A delta source at a node: ("child", i) for the i-th child subtree,
 #: ("ind", i) for the i-th hosted indicator projection.
@@ -179,6 +215,7 @@ class FIVMEngine:
         materialize: str = "auto",
         group_aware: bool = True,
         compiled: bool = True,
+        backend: Optional[str] = None,
         program_library: Optional[ProgramLibrary] = None,
     ):
         self.query = query
@@ -188,10 +225,12 @@ class FIVMEngine:
         #: re-bound per shard; libraries must not be shared between
         #: differently configured engines (see :mod:`repro.core.plan_exec`).
         self._library = program_library
-        #: Whether delta plans are executed as compiled slot programs
-        #: (:mod:`repro.core.plan_exec`).  ``False`` keeps the dict-binding
-        #: interpreter — the reference semantics used by differential tests.
-        self.compiled = compiled
+        #: The trigger backend realizing the delta-program IR (see the
+        #: module docstring and :func:`resolve_backend`).
+        self.backend = resolve_backend(backend, compiled)
+        #: Legacy view of the backend choice (kept for callers of the old
+        #: two-way API): every backend except the IR interpreter compiles.
+        self.compiled = backend != "interpreter"
         #: Whether probes may read per-bucket payload sums (group-aware
         #: joins).  On by default; exposed for ablation benchmarks.
         self.group_aware = group_aware
@@ -245,11 +284,16 @@ class FIVMEngine:
             if not node.is_leaf
         }
         self._plans: Dict[Tuple[str, Source], List[_PlanStep]] = {}
-        self._programs: Dict[Tuple[str, Source], SlotProgram] = {}
-        #: Factor slot programs, compiled lazily per (node, source, factor
+        #: Lowered IR per (node, source) — the single program every
+        #: backend realizes (:mod:`repro.core.ir`).
+        self._ir: Dict[Tuple[str, Source], object] = {}
+        #: Executable delta programs per (node, source), built by the
+        #: selected backend; every program answers ``run(delta)``.
+        self._programs: Dict[Tuple[str, Source], object] = {}
+        #: Factor programs, lowered+built lazily per (node, source, factor
         #: partition) the first time a rank-1 term with that shape passes
         #: through — partitions depend on the updates, not the tree.
-        self._factor_programs: Dict[tuple, FactorProgram] = {}
+        self._factor_programs: Dict[tuple, object] = {}
         #: Shared probe cache: view name → per-site memoized sibling
         #: collapses (see :mod:`repro.core.plan_exec`).  Entries stay valid
         #: until the view absorbs a delta; every write path below calls
@@ -292,18 +336,54 @@ class FIVMEngine:
                 self._plans[(node.name, ("ind", i))] = self._plan(
                     node, ("ind", i)
                 )
-        if not self.compiled:
-            return
         # Second pass, after every plan has registered its indexes: lower
-        # each plan to a slot program (plan → slot program → executor).
+        # each plan to IR once, then hand it to the backend
+        # (plan → IR → backend program).
         by_name = {node.name: node for node in self.tree.nodes}
         for (node_name, source), plan in self._plans.items():
             node = by_name[node_name]
             targets = [self._plan_target_relation(node, step) for step in plan]
-            self._programs[(node_name, source)] = compile_slot_program(
-                node, source, plan, targets, self.query,
-                library=self._library,
+            ir = lower_delta_plan(
+                node, source, plan, tuple(t.schema for t in targets),
+                self.query,
             )
+            self._ir[(node_name, source)] = ir
+            self._programs[(node_name, source)] = self._build_delta_program(
+                ir, targets
+            )
+
+    def _build_delta_program(self, ir, targets):
+        """Realize one flat IR program with the selected backend.
+
+        The backend *policy*: the interpreter and source backends apply to
+        every node; the kernels backend applies per node where the payload
+        ring exposes array hooks (``Ring.kernel_ops``) and falls back to
+        the generated-source program elsewhere, so mixed trees stay fully
+        functional.
+        """
+        if self.backend == "interpreter":
+            return InterpreterDeltaProgram(ir, targets, self.query)
+        if self.backend == "kernels":
+            from repro.core.kernels import kernel_delta_program
+
+            program = kernel_delta_program(
+                ir, targets, self.query, library=self._library
+            )
+            if program is not None:
+                return program
+        return compile_slot_program(
+            ir, targets, self.query, library=self._library
+        )
+
+    def _build_factor_program(self, ir, targets):
+        """Realize one factor IR program with the selected backend (the
+        kernels backend reuses the generated-source factor programs —
+        rank-1 terms are tiny, so the flat path is where arrays pay)."""
+        if self.backend == "interpreter":
+            return InterpreterFactorProgram(ir, targets, self.query)
+        return compile_factor_program(
+            ir, targets, self.query, library=self._library
+        )
 
     def _plan(self, node: ViewNode, source: Source) -> List[_PlanStep]:
         kind, idx = source
@@ -603,99 +683,9 @@ class FIVMEngine:
     def _delta_at_node(
         self, node: ViewNode, source: Source, delta: Relation
     ) -> Relation:
-        """Evaluate the node's delta view for a delta entering at ``source``,
-        through the compiled slot program when available."""
-        program = self._programs.get((node.name, source))
-        if program is not None:
-            return program.run(delta)
-        return self._delta_at_node_interpreted(node, source, delta)
-
-    def _delta_at_node_interpreted(
-        self, node: ViewNode, source: Source, delta: Relation
-    ) -> Relation:
-        """Evaluate the node's delta view for a delta entering at ``source``.
-
-        The dict-binding interpreter: the reference semantics the slot
-        programs are compiled from (and differentially tested against).
-        Implements the delta rules of Figure 4 operationally: the delta's
-        bindings are extended by probing each materialized sibling (and
-        indicator) through its index, payloads are multiplied in child order
-        (non-commutative safe), the node's bound variables are lifted and
-        summed out, and the result lands in the node's key schema.
-        """
-        plan = self._plans[(node.name, source)]
-        ring = self.query.ring
-        mul = ring.mul
-        out = Relation(node.name, node.keys, ring)
-        kind, idx = source
-        n_children = len(node.children)
-        lift_entries = [
-            (var, self.query.lifting.get(var)) for var in node.marginalized
-        ]
-        out_attrs = node.keys
-
-        # Resolve plan targets once per call.
-        targets = [self._plan_target_relation(node, step) for step in plan]
-        if kind == "child":
-            source_attrs = node.children[idx].keys
-        else:
-            source_attrs = node.indicators[idx].attrs
-
-        for key, payload in delta.items():
-            binding = dict(zip(source_attrs, key))
-            slots: List[object] = [None] * n_children
-            sign = None
-            if kind == "child":
-                slots[idx] = payload
-            else:
-                sign = payload  # ±1; central, so order-independent
-            stack = [(0, binding, slots)]
-            while stack:
-                depth, bnd, sl = stack.pop()
-                if depth == len(plan):
-                    value = ring.one
-                    first = True
-                    for slot in sl:
-                        if slot is None:
-                            continue
-                        value = slot if first else mul(value, slot)
-                        first = False
-                    if sign is not None:
-                        value = mul(value, sign)
-                    for var, lift in lift_entries:
-                        if lift is not None:
-                            value = mul(value, lift(bnd[var]))
-                    out.add(tuple(bnd[a] for a in out_attrs), value)
-                    continue
-                step = plan[depth]
-                target = targets[depth]
-                subkey = tuple(bnd[a] for a in step.probe_attrs)
-                if step.aggregated:
-                    # Group-aware probe: one pre-aggregated payload stands
-                    # for the whole bucket (extends nothing downstream).
-                    total = target.lookup_sum(step.probe_attrs, subkey)
-                    if ring.is_zero(total):
-                        continue
-                    new_sl = list(sl)
-                    if step.kind == "child":
-                        new_sl[step.index] = total
-                    else:
-                        # Indicator entries carry payload 1 each; their sum
-                        # is the match count, which multiplies in centrally.
-                        new_sl.append(total)
-                    stack.append((depth + 1, bnd, new_sl))
-                    continue
-                for tkey, tpayload in target.lookup(step.probe_attrs, subkey):
-                    new_bnd = dict(bnd)
-                    for attr, value in zip(target.schema, tkey):
-                        new_bnd[attr] = value
-                    if step.kind == "child":
-                        new_sl = list(sl)
-                        new_sl[step.index] = tpayload
-                    else:
-                        new_sl = sl  # indicators carry payload 1: pure filter
-                    stack.append((depth + 1, new_bnd, new_sl))
-        return out
+        """Evaluate the node's delta view for a delta entering at
+        ``source`` through the backend's program for that entry point."""
+        return self._programs[(node.name, source)].run(delta)
 
     def apply_decomposed_update(self, delta: Relation) -> Relation:
         """Decompose a listing delta into factors, then propagate factored.
@@ -762,23 +752,17 @@ class FIVMEngine:
                     )
                 )
                 self._invalidate(leaf.name)
-            if self.compiled:
-                contribution = self._propagate_factored_compiled(
-                    leaf, list(term)
-                )
-            else:
-                contribution = self._propagate_factored(leaf, list(term))
+            contribution = self._propagate_factored(leaf, list(term))
             total = total.union(contribution, name=root.name)
         return total
 
-    def _factor_program(
-        self, node: ViewNode, source: Source, partition: tuple
-    ) -> "FactorProgram":
-        """The factor slot program for this entry point and partition,
-        compiled on first use (partitions depend on the update stream).
-        Callers pass the *canonicalized* partition (factor schemas sorted,
-        see :func:`repro.core.plan_exec.canonical_partition`), so permuted
-        factor orders of one decomposition share one compiled program."""
+    def _factor_program(self, node: ViewNode, source: Source, partition: tuple):
+        """The factor program for this entry point and partition, lowered
+        to IR and built by the backend on first use (partitions depend on
+        the update stream).  Callers pass the *canonicalized* partition
+        (factor schemas sorted, see
+        :func:`repro.core.plan_exec.canonical_partition`), so permuted
+        factor orders of one decomposition share one program."""
         key = (node.name, source, partition)
         program = self._factor_programs.get(key)
         if program is None:
@@ -789,23 +773,24 @@ class FIVMEngine:
                 if i != idx
             ]
             targets += [iv.relation for iv in self._indicators_at(node)]
-            program = compile_factor_program(
+            ir = lower_factor_plan(
                 node,
                 source,
                 partition,
-                targets,
+                tuple(t.name for t in targets),
+                tuple(t.schema for t in targets),
                 self.flags[node.name],
                 self.query,
                 self.group_aware,
-                library=self._library,
             )
+            program = self._build_factor_program(ir, targets)
             self._factor_programs[key] = program
         return program
 
-    def _propagate_factored_compiled(
+    def _propagate_factored(
         self, leaf: ViewNode, factors: List[Relation]
     ) -> Relation:
-        """Compiled twin of :meth:`_propagate_factored`: one factor slot
+        """Propagate one rank-1 term leaf-to-root: one backend factor
         program per node, factor *dicts* flowing between them, sibling
         collapses shared through the probe cache."""
         ring = self.query.ring
@@ -845,118 +830,3 @@ class FIVMEngine:
         out._data = flat_data if flat_data is not None else {}
         return out
 
-    def _propagate_factored(
-        self, leaf: ViewNode, factors: List[Relation]
-    ) -> Relation:
-        lifting = self.query.lifting
-        prev, node = leaf, leaf.parent
-        flat: Optional[Relation] = None
-        if not factors:
-            root = self.tree.root
-            return Relation(root.name, root.keys, self.query.ring)
-        while node is not None:
-            # Join in each materialized sibling (and indicator) by merging it
-            # with the factors it shares attributes with.  A marginalized
-            # variable whose coverage completes inside a merge is summed out
-            # *during* the final join of that merge (``join_project``), so
-            # the wide intermediate is never materialized — legal because
-            # factorized updates already require a commutative ring.
-            siblings = [
-                self.views[child.name]
-                for child in node.children
-                if child is not prev
-            ]
-            siblings += [iv.relation for iv in self._indicators_at(node)]
-            droppable = set(node.marginalized) - set(node.keys)
-            lift_table = lifting.table()
-            fused_away: set = set()
-            for index, sibling in enumerate(siblings):
-                pending_attrs = set()
-                for later in siblings[index + 1:]:
-                    pending_attrs |= set(later.schema)
-                factors, dropped = _merge_factor(
-                    factors,
-                    sibling,
-                    droppable - pending_attrs,
-                    lift_table,
-                )
-                fused_away |= dropped
-            # Push each remaining marginalization into the factor holding
-            # the variable; only variables a fused merge provably dropped
-            # may be skipped (absence alone would mask planner bugs).
-            for var in node.marginalized:
-                if var in fused_away:
-                    continue
-                for i, factor in enumerate(factors):
-                    if var in factor.schema:
-                        factors[i] = factor.marginalize(
-                            [var], lift_table
-                        )
-                        break
-                else:
-                    raise RuntimeError(
-                        f"variable {var} not found in any delta factor"
-                    )
-            if any(f.is_empty for f in factors):
-                root = self.tree.root
-                return Relation(root.name, root.keys, self.query.ring)
-            if self.flags[node.name]:
-                flat = _flatten_factors(factors, node.keys, node.name)
-                if not flat.is_empty:
-                    self.views[node.name].absorb(flat)
-                    self._invalidate(node.name)
-            prev, node = node, node.parent
-        assert flat is not None, "the root is always materialized"
-        return flat
-
-
-def _merge_factor(
-    factors: List[Relation],
-    sibling: Relation,
-    droppable: frozenset = frozenset(),
-    lifting=None,
-) -> Tuple[List[Relation], set]:
-    """Join ``sibling`` into the factor list, combining shared-attr factors.
-
-    Variables in ``droppable`` that live only inside the combined chain (in
-    no other factor) are marginalized during its final join via
-    :meth:`Relation.join_project`, so the unreduced join never exists.
-    Returns the new factor list and the set of variables dropped this way.
-    """
-    sibling_attrs = set(sibling.schema)
-    sharing = [f for f in factors if sibling_attrs & set(f.schema)]
-    rest = [f for f in factors if not (sibling_attrs & set(f.schema))]
-    combined = sibling
-    drop: Tuple[str, ...] = ()
-    if sharing:
-        rest_attrs = {a for f in rest for a in f.schema}
-        for factor in sharing[:-1]:
-            combined = combined.join(factor)
-        last = sharing[-1]
-        # Deterministic drop (and thus lift-application) order: follow the
-        # merged join schema, not set-iteration order.
-        drop = tuple(
-            v
-            for v in merge_schemas(combined.schema, last.schema)
-            if v in droppable and v not in rest_attrs
-        )
-        combined = combined.join_project(last, drop, lifting)
-    return rest + [combined], set(drop)
-
-
-def _flatten_factors(
-    factors: Sequence[Relation], keys: Tuple[str, ...], name: str
-) -> Relation:
-    """Materialize the product of factors and normalize to ``keys`` order."""
-    product = factors[0]
-    for factor in factors[1:]:
-        product = product.join(factor)
-    if set(product.schema) != set(keys):
-        raise RuntimeError(
-            f"flattened delta schema {product.schema} != view keys {keys}"
-        )
-    if product.schema != keys:
-        product = product.reorder(keys, name=name)
-    else:
-        product = product.copy(name=name)
-    return product

@@ -1,0 +1,265 @@
+"""The NumPy kernel backend: IR delta programs over packed arrays.
+
+The third realization of the delta-program IR (:mod:`repro.core.ir`),
+selected with ``FIVMEngine(backend="kernels")``.  Where the source backend
+multiplies and folds payloads tuple by tuple, this backend splits a
+trigger into two phases:
+
+1. **gather** — a generated probe loop (the same specialization the
+   source backend emits, shared through the :class:`ProgramLibrary`) that
+   walks the delta and the sibling probes but *defers all ring
+   arithmetic*: instead of multiplying payloads it appends, per match
+   row, the output key and each payload factor to per-column lists (plus
+   the raw values feeding each lifting function);
+2. **kernel** — the ring's array hooks (``Ring.kernel_ops``) pack each
+   column into NumPy arrays, multiply whole columns at once (for the
+   cofactor ring: the vectorized Definition 6.2 formula over stacked
+   ``(n, k)``/``(n, k, k)`` blocks), and fold the rows onto their output
+   keys with one grouped reduction (``np.bincount`` /
+   ``np.add.reduceat``) instead of n-1 ring additions.
+
+The two phases compute exactly the scalar semantics: the product order
+within a row is the IR's reference order, and regrouping the additions is
+sound because ring addition is commutative by the ring axioms.  Rings
+without array hooks never reach this module — the engine's backend policy
+falls back to the source backend per node — and batches whose payload
+columns cannot pack (mixed cofactor supports) fall back to the scalar
+fold inside :meth:`KernelDeltaProgram.run`, so the backend is always
+exact, never approximate.
+
+Tiny deltas skip the array path entirely (``_MIN_VECTOR_ROWS``): below a
+handful of rows the fixed cost of packing outweighs the vectorized
+arithmetic, and the scalar fold is faster.
+
+The factorized path is not vectorized here: rank-1 term factors are tiny
+delta vectors, so the engine reuses the generated-source factor programs
+under this backend (see :meth:`FIVMEngine._build_factor_program`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.ir import DeltaProgram, IndexProbe, Probe
+from repro.core.plan_exec import (
+    ProgramLibrary,
+    _bind_env,
+    _Generated,
+    _tuple_display,
+)
+from repro.data.relation import Relation
+
+__all__ = ["KernelDeltaProgram", "kernel_delta_program"]
+
+#: Below this many gathered rows the scalar fold beats array packing.
+_MIN_VECTOR_ROWS = 8
+
+
+def kernel_delta_program(
+    ir: DeltaProgram, targets, query, library: Optional[ProgramLibrary] = None
+) -> Optional["KernelDeltaProgram"]:
+    """Build the kernel program for one IR program, or ``None`` when the
+    payload ring exposes no array hooks (the engine then falls back to the
+    source backend for this node)."""
+    kops = query.ring.kernel_ops()
+    if kops is None:
+        return None
+    key = ("kernel", ir)
+    generated = library.lookup(key) if library is not None else None
+    if generated is None:
+        generated = _generate_gather(ir)
+        if library is not None:
+            library.store(key, generated)
+    env = _bind_env(generated, targets, query)
+    return KernelDeltaProgram(ir, query, kops, env["_gather"], generated)
+
+
+def _generate_gather(ir: DeltaProgram) -> _Generated:
+    """Generate the gather loop: the source backend's probe walk with the
+    innermost arithmetic replaced by column appends.
+
+    The generated function takes the delta items plus one bound
+    ``list.append`` per column — the output key column first, then one
+    column per payload factor, then one per lifting input — so the hot
+    loop carries no attribute lookups.
+    """
+    kind, idx = ir.source
+    ops = ir.ops
+
+    def rname(register: int) -> str:
+        return f"r{register}"
+
+    n_factors = len(ir.accumulate.factors)
+    n_lifts = len(ir.accumulate.lifts)
+    params = ["_items", "_ak"]
+    params += [f"_af{j}" for j in range(n_factors)]
+    params += [f"_al{j}" for j in range(n_lifts)]
+    requests: List[tuple] = []
+    lines: List[str] = [f"def _gather({', '.join(params)}):"]
+
+    def emit(depth: int, text: str) -> None:
+        lines.append("    " * depth + text)
+
+    for i, op in enumerate(ops):
+        requests.append((f"_data{i}", ("data", op.target)))
+        if op.aggregated and not op.probe_attrs:
+            emit(1, f"_t{i} = _rsum(_data{i}.values())")
+            emit(1, f"if _iszero(_t{i}):")
+            emit(2, "return")
+
+    emit(1, "for _key, _psrc in _items:")
+    depth = 2
+    for position, register in ir.loads:
+        emit(depth, f"{rname(register)} = _key[{position}]")
+
+    op_pay = {}
+    for i, op in enumerate(ops):
+        probe = op.probe_attrs
+        if isinstance(op, IndexProbe):
+            requests.append((f"_bkt{i}", ("buckets", op.target, probe)))
+            requests.append((f"_sum{i}", ("sums", op.target, probe)))
+        probe_key = _tuple_display([rname(r) for r in op.probe_regs])
+        if op.aggregated:
+            if not probe:
+                pass  # hoisted; payload is _t{i}
+            elif isinstance(op, Probe):
+                emit(depth, f"_t{i} = _data{i}.get({probe_key})")
+                emit(depth, f"if _t{i} is not None:")
+                depth += 1
+            else:
+                emit(depth, f"_t{i} = _sum{i}.get({probe_key})")
+                emit(depth, f"if _t{i} is not None and not _iszero(_t{i}):")
+                depth += 1
+            op_pay[i] = f"_t{i}"
+        else:
+            if isinstance(op, Probe) and probe:
+                emit(depth, f"_p{i} = _data{i}.get({probe_key})")
+                emit(depth, f"if _p{i} is not None:")
+                depth += 1
+            elif isinstance(op, Probe):
+                emit(depth, f"for _k{i}, _p{i} in _data{i}.items():")
+                depth += 1
+            else:
+                emit(depth, f"_b{i} = _bkt{i}.get({probe_key})")
+                emit(depth, f"if _b{i}:")
+                depth += 1
+                emit(depth, f"for _k{i}, _p{i} in _b{i}.items():")
+                depth += 1
+            for position, register in op.extend:
+                emit(depth, f"{rname(register)} = _k{i}[{position}]")
+            op_pay[i] = f"_p{i}"
+
+    out_key = _tuple_display([rname(r) for r in ir.accumulate.out_regs])
+    emit(depth, f"_ak({out_key})")
+    for j, (where, i) in enumerate(ir.accumulate.factors):
+        emit(depth, f"_af{j}({'_psrc' if where == 'source' else op_pay[i]})")
+    for j, (var, register) in enumerate(ir.accumulate.lifts):
+        emit(depth, f"_al{j}({rname(register)})")
+
+    source_text = "\n".join(lines) + "\n"
+    code = compile(
+        source_text, f"<kernel-gather {ir.node_name}:{kind}{idx}>", "exec"
+    )
+    return _Generated(code, requests, source_text, ir.out_schema)
+
+
+class KernelDeltaProgram:
+    """A flat delta trigger executed as gather + array kernel."""
+
+    backend = "kernels"
+
+    __slots__ = (
+        "node_name", "out_schema", "ring", "_kops", "_gather", "_lift_fns",
+        "_n_factors", "source_text",
+    )
+
+    def __init__(self, ir: DeltaProgram, query, kops, gather, generated):
+        self.node_name = ir.node_name
+        self.out_schema = ir.out_schema
+        self.ring = query.ring
+        self._kops = kops
+        self._gather = gather
+        self._n_factors = len(ir.accumulate.factors)
+        lift_table = query.lifting.table()
+        self._lift_fns = [lift_table[var] for var, _ in ir.accumulate.lifts]
+        #: The generated gather source (debugging and the test suite).
+        self.source_text = generated.source_text
+
+    def _finish_scalar(self, keys, factor_cols, lift_cols, out):
+        """The exact scalar fold (used under ``_MIN_VECTOR_ROWS`` and when
+        a column cannot pack): row-wise reference-order products, per-key
+        contribution lists, one ``ring.sum`` per key, zeros dropped."""
+        ring = self.ring
+        mul = ring.mul
+        acc = {}
+        lifted_cols = list(zip(self._lift_fns, lift_cols))
+        for row, key in enumerate(keys):
+            value = None
+            for col in factor_cols:
+                factor = col[row]
+                value = factor if value is None else mul(value, factor)
+            lv = None
+            for lift, col in lifted_cols:
+                term = lift(col[row])
+                lv = term if lv is None else mul(lv, term)
+            if value is None:
+                value = ring.one if lv is None else lv
+            elif lv is not None:
+                value = mul(value, lv)
+            current = acc.get(key)
+            if current is None:
+                acc[key] = [value]
+            else:
+                current.append(value)
+        rsum = ring.sum
+        is_zero = ring.is_zero
+        data = out._data
+        for key, values in acc.items():
+            total = values[0] if len(values) == 1 else rsum(values)
+            if not is_zero(total):
+                data[key] = total
+        return out
+
+    def run(self, delta: Relation) -> Relation:
+        ring = self.ring
+        out = Relation(self.node_name, self.out_schema, ring)
+        keys: List[tuple] = []
+        factor_cols: List[list] = [[] for _ in range(self._n_factors)]
+        lift_cols: List[list] = [[] for _ in range(len(self._lift_fns))]
+        appends = [keys.append]
+        appends += [col.append for col in factor_cols]
+        appends += [col.append for col in lift_cols]
+        self._gather(delta._data.items(), *appends)
+        n = len(keys)
+        if n == 0:
+            return out
+        if n < _MIN_VECTOR_ROWS:
+            return self._finish_scalar(keys, factor_cols, lift_cols, out)
+        kops = self._kops
+        packed = kops.combine(
+            n, factor_cols, list(zip(self._lift_fns, lift_cols))
+        )
+        if packed is None:  # unpackable batch: exact scalar fallback
+            return self._finish_scalar(keys, factor_cols, lift_cols, out)
+        # Group rows by output key (ids assigned first-seen, so every id in
+        # range(n_groups) occurs — the reduce hooks rely on that).
+        group_of: dict = {}
+        group_ids = np.empty(n, dtype=np.intp)
+        unique_keys: List[tuple] = []
+        for row, key in enumerate(keys):
+            gid = group_of.get(key)
+            if gid is None:
+                gid = len(unique_keys)
+                group_of[key] = gid
+                unique_keys.append(key)
+            group_ids[row] = gid
+        reduced = kops.reduce(packed, group_ids, len(unique_keys))
+        payloads = kops.unpack(reduced)
+        is_zero = ring.is_zero
+        data = out._data
+        for key, payload in zip(unique_keys, payloads):
+            if not is_zero(payload):
+                data[key] = payload
+        return out

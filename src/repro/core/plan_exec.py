@@ -1,74 +1,70 @@
-"""Slot-compiled delta programs: update triggers as generated code.
+"""The source-codegen backend: IR delta programs as generated Python.
 
-The engine's interpreter (:meth:`FIVMEngine._delta_at_node_interpreted`)
-carries Python ``dict`` bindings from probe to probe, allocating a fresh
-dict per delta tuple and copying it on every match.  This module compiles
-each ``(node, source)`` delta-join plan **once**, at engine-construction
-time, into a *slot program* — a specialized Python trigger in the style of
-DBToaster's generated code:
+The engine lowers every delta plan to the typed IR of
+:mod:`repro.core.ir`; this module is the backend that turns an IR program
+into a specialized Python trigger in the style of DBToaster's generated
+code (the default, ``FIVMEngine(backend="source")``):
 
-* every attribute reachable in the plan gets a fixed slot, realized as a
-  local register ``r<i>`` of the generated function (dead attributes — never
-  probed, never lifted, never in the output keys — get no register at all);
-* each probe becomes a direct dictionary ``get`` against the target
-  relation's primary map or the bucket/sum dicts of its registered
-  secondary index (no method dispatch, no projector call: the probe subkey
-  is built from registers with a tuple display);
-* group-aware (pre-aggregated) probes read the index's per-bucket ring sum;
-  a bucket-sum probe with *no* shared attributes is loop-invariant and is
-  hoisted out of the delta loop entirely;
-* payload multiplication is unrolled in child order — followed by indicator
-  counts, the indicator sign, and the lifting functions in marginalization
-  order — exactly matching the interpreter, so non-commutative rings
-  (matrix payloads) see the same product order;
-* the output accumulates into a plain dict with the ring's ``add`` bound to
-  a global of the generated function; zero payloads are dropped in one
+* every IR register becomes a local ``r<i>`` of the generated function
+  (the lowering already withheld registers from dead attributes);
+* each :class:`~repro.core.ir.Probe` / :class:`~repro.core.ir.IndexProbe`
+  becomes a direct dictionary ``get`` against the target relation's
+  primary map or the bucket/sum dicts of its registered secondary index
+  (no method dispatch, no projector call: the probe subkey is built from
+  registers with a tuple display);
+* aggregated probes read the index's per-bucket ring sum; a whole-target
+  collapse (no shared attributes) is loop-invariant and hoisted out of
+  the delta loop entirely;
+* the :class:`~repro.core.ir.Accumulate` payload product is unrolled in
+  the IR's reference factor order, so non-commutative rings (matrix
+  payloads) see the same product as the interpreter backend;
+* the output accumulates into a plain dict with the ring's ``add`` bound
+  to a global of the generated function; zero payloads are dropped in one
   sweep at the end instead of being tested per accumulation.
 
 Binding the index dictionaries at compile time is sound because the engine
 creates all view/indicator relations before compiling and ``Relation``
-mutates its primary map and index dicts strictly in place (``clear`` empties
-them, it never replaces them).
+mutates its primary map and index dicts strictly in place (``clear``
+empties them, it never replaces them).
 
-The interpreter remains available via ``FIVMEngine(compiled=False)`` as the
-executable reference semantics; the differential tests in
-``tests/core/test_slot_programs.py`` hold the two (and full recomputation)
-key-for-key equal across rings.
+The IR interpreter remains available via ``FIVMEngine(compiled=False)`` /
+``backend="interpreter"`` as the executable reference semantics; the
+differential tests hold the backends (and full recomputation) key-for-key
+equal across rings.
 
-Factor slot programs
---------------------
+Factor programs
+---------------
 
-The factorized-update path (Section 5) gets the same treatment.  A rank-1
-term enters a node as a list of factor dicts over pairwise-disjoint
-schemas; :func:`compile_factor_program` compiles, per ``(node, source,
-partition)`` — the partition being the tuple of factor schemas — a trigger
-that mirrors :meth:`FIVMEngine._propagate_factored` step for step:
+:func:`compile_factor_program` generates the factorized trigger from a
+:class:`~repro.core.ir.FactorProgramIR`, op for op:
 
-* each sibling view sharing attributes with the term is merged through one
-  fused loop nest: the sharing factors are iterated (they are tiny delta
-  vectors), the sibling is probed through its primary map or a registered
-  secondary index, and variables whose coverage completes inside the merge
-  are marginalized on the fly (the compiled ``join_project``);
-* a sibling sharing *nothing* is appended as a factor by aliasing its
+* each :class:`~repro.core.ir.SiblingMerge` becomes one fused loop nest —
+  the sharing factors are iterated (they are tiny delta vectors), the
+  sibling is probed through its primary map or a registered secondary
+  index, and variables whose coverage completes inside the merge are
+  marginalized on the fly (the compiled ``join_project``);
+* a :class:`~repro.core.ir.AppendSibling` aliases the stored sibling's
   primary map — read-only, never copied;
-* leftover marginalizations are fused per factor into one grouped pass;
-* at materialized nodes the factors are flattened into a fresh delta dict
-  in the node's key order (zero products dropped — truncating rings can
-  cancel inside a product).
+* leftover :class:`~repro.core.ir.Marginalize` ops are fused per factor
+  into one grouped pass;
+* a :class:`~repro.core.ir.Flatten` materializes the factor product into
+  a fresh delta dict in the node's key order (zero products dropped —
+  truncating rings can cancel inside a product).
 
-**Shared probe results.**  Sibling reads that collapse a whole bucket (or a
-whole appended sibling) to one ring value are memoized in a caller-supplied
-*probe cache*: ``cache[view_name][site][subkey] → value``, where ``site``
-is a unique-per-compiled-op sentinel.  The engine passes one cache across
-all terms of an update and across all relations of one ``apply_batch``
-pass, and invalidates a view's entries whenever that view absorbs a delta
-— so rank-r terms and multi-relation batches share sibling aggregation
-work (the "truly simultaneous multi-path trigger").
+**Shared probe results.**  The probe memos are decided at lowering time
+(the op ``mode``, see :mod:`repro.core.ir`), so the generated code shares
+them with every other backend: ``"cached"`` collapses memoize the folded
+bucket sum, ``"memo"`` partial-match probes memoize the bucket reduced to
+its surviving extends, and pristine marginalizations memoize the whole
+collapse — all in the caller-supplied probe cache
+(``cache[view_name][site][subkey]``), which the engine shares across the
+terms of an update, the relations of one ``apply_batch`` pass, and
+consecutive updates, and invalidates per view write.
 
 Factorized updates require a commutative ring, so the generated code is
-free to reorder and pre-aggregate payload products; accumulation still goes
-through per-key contribution lists folded by ``ring.sum`` (vectorized for
-the cofactor, degree, and product rings).
+free to reorder and pre-aggregate payload products; accumulation still
+goes through per-key contribution lists folded by ``ring.sum``
+(vectorized for the cofactor, degree, and product rings).
 
 Generation vs binding (shard-local triggers)
 --------------------------------------------
@@ -76,31 +72,38 @@ Generation vs binding (shard-local triggers)
 Compilation is split in two stages so that sharded engines can share the
 expensive half:
 
-* **generation** walks the plan and emits the trigger *source text* plus a
+* **generation** walks the IR and emits the trigger *source text* plus a
   list of :class:`environment requests <_Generated>` — symbolic
   descriptions ("the primary map of target 2", "the bucket dict of target
   0's index on (A, B)", "a fresh cache-site sentinel") of every
-  target-derived global the code needs.  Generation reads only target
-  *schemas and names*, never live relation state, so its output is valid
-  for any engine holding an isomorphic view tree;
+  target-derived global the code needs.  The IR itself reads only target
+  *schemas and names*, never live relation state, so generated code is
+  valid for any engine holding an isomorphic view tree;
 * **binding** realizes the requests against one engine's actual stored
   relations (registering any secondary index a probe needs) and execs
   the pre-compiled code object with those globals — per-shard dictionaries
   stay bound directly in the trigger's globals, so the run-time fast path
   is unchanged.
 
-A :class:`ProgramLibrary` memoizes generated programs by a canonicalized
-key — ``(node name, source, target schemas)`` plus, for factor programs,
-the canonically sorted factor partition — so ``S`` hash-partitioned shard
-engines built over the same query pay for code generation once and each
-bind their own copy.  A library must only be shared by identically
+A :class:`ProgramLibrary` memoizes generated programs keyed by the IR
+program itself (IR is hashable plain data), so ``S`` hash-partitioned
+shard engines built over the same query pay for code generation once and
+each bind their own copy.  A library must only be shared by identically
 configured engines (same query, order, and planner flags).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.ir import (
+    DeltaProgram,
+    FactorProgramIR,
+    IndexProbe,
+    Probe,
+    SiblingMerge,
+    cache_site,
+)
 from repro.data.relation import Relation
 
 __all__ = [
@@ -175,7 +178,7 @@ class ProgramLibrary:
         self._generated[key] = generated
 
 
-def _bind_env(generated: _Generated, targets: Sequence[Relation], query) -> dict:
+def _bind_env(generated: _Generated, targets, query) -> dict:
     """Realize a generated program's environment against live targets.
 
     Registers any secondary index the requests name (idempotent), then
@@ -192,7 +195,7 @@ def _bind_env(generated: _Generated, targets: Sequence[Relation], query) -> dict
         "_zero": ring.zero,
         "_NONE": (None, None),
         "_finalize": _make_finalize(ring.sum, ring.is_zero),
-        "_site": _cache_site,
+        "_site": cache_site,
     }
     lift_table = query.lifting.table()
     for name, spec in generated.requests:
@@ -218,7 +221,9 @@ def _bind_env(generated: _Generated, targets: Sequence[Relation], query) -> dict
 
 
 class SlotProgram:
-    """A compiled delta trigger for one ``(node, source)`` plan."""
+    """A compiled delta trigger for one ``(node, source)`` IR program."""
+
+    backend = "source"
 
     __slots__ = ("node_name", "out_schema", "ring", "_fn", "source_text")
 
@@ -267,64 +272,38 @@ def _tuple_display(registers: Sequence[str]) -> str:
 
 
 def compile_slot_program(
-    node, source, plan, targets, query, library: Optional[ProgramLibrary] = None
+    ir: DeltaProgram, targets, query, library: Optional[ProgramLibrary] = None
 ) -> SlotProgram:
-    """Compile one delta-join plan into a :class:`SlotProgram`.
+    """Compile one IR delta program into a :class:`SlotProgram`.
 
-    ``plan`` is the engine's list of ``_PlanStep``; ``targets`` the stored
-    relation each step probes, aligned with ``plan``.  Any secondary index a
-    probe needs is registered at bind time (idempotent — the engine already
-    registers them while planning).  With a ``library``, generated code is
-    shared across engines holding isomorphic trees (sharding): only the
-    environment binding is per-engine.
+    ``targets`` are the stored relations the IR's probes read, aligned with
+    the ops' ``target`` indices.  Any secondary index a probe needs is
+    registered at bind time (idempotent — the engine already registers them
+    while planning).  With a ``library``, generated code is shared across
+    engines holding isomorphic trees (sharding): only the environment
+    binding is per-engine.
     """
-    target_schemas = tuple(target.schema for target in targets)
-    key = ("slot", node.name, source, target_schemas)
+    key = ("slot", ir)
     generated = library.lookup(key) if library is not None else None
     if generated is None:
-        generated = _generate_slot(node, source, plan, target_schemas, query)
+        generated = _generate_slot(ir)
         if library is not None:
             library.store(key, generated)
     env = _bind_env(generated, targets, query)
     return SlotProgram(
-        node.name, generated.meta, query.ring, env["_trigger"],
+        ir.node_name, generated.meta, query.ring, env["_trigger"],
         generated.source_text,
     )
 
 
-def _generate_slot(node, source, plan, target_schemas, query) -> _Generated:
-    """Generate the slot-program source and environment requests (no live
-    relation state is read — see the module docstring)."""
-    kind, idx = source
-    if kind == "child":
-        source_attrs = node.children[idx].keys
-    else:
-        source_attrs = node.indicators[idx].attrs
-    lift_entries = [
-        (var, query.lifting.get(var)) for var in node.marginalized
-    ]
-    out_attrs = node.keys
+def _generate_slot(ir: DeltaProgram) -> _Generated:
+    """Generate the slot-program source and environment requests from IR
+    (no live relation state is read — see the module docstring)."""
+    kind, idx = ir.source
+    ops = ir.ops
 
-    # Attribute liveness: needed_after[i] = attrs read after step i's probe
-    # (later probes, output keys, lifted variables).  Extends outside this
-    # set never get a register — the compiled analogue of the interpreter
-    # simply not copying dead binding entries.
-    live = {var for var, lift in lift_entries if lift is not None}
-    live |= set(out_attrs)
-    needed_after: List[set] = [set()] * len(plan)
-    for i in range(len(plan) - 1, -1, -1):
-        needed_after[i] = set(live)
-        live |= set(plan[i].probe_attrs)
-    source_needed = live  # probes of all steps + output keys + lifts
-
-    registers: Dict[str, str] = {}
-
-    def reg(attr: str) -> str:
-        name = registers.get(attr)
-        if name is None:
-            name = f"r{len(registers)}"
-            registers[attr] = name
-        return name
+    def rname(register: int) -> str:
+        return f"r{register}"
 
     requests: List[tuple] = []
     lines: List[str] = ["def _trigger(_items, _out):"]
@@ -334,57 +313,46 @@ def _generate_slot(node, source, plan, target_schemas, query) -> _Generated:
 
     # Hoist loop-invariant group-aware probes (no shared attributes): the
     # whole sibling collapses to one ring sum, computed once per trigger.
-    for i, step in enumerate(plan):
-        requests.append((f"_data{i}", ("data", i)))
-        if step.aggregated and not step.probe_attrs:
+    for i, op in enumerate(ops):
+        requests.append((f"_data{i}", ("data", op.target)))
+        if op.aggregated and not op.probe_attrs:
             emit(1, f"_t{i} = _rsum(_data{i}.values())")
             emit(1, f"if _iszero(_t{i}):")
             emit(2, "return")
 
     emit(1, "for _key, _psrc in _items:")
     depth = 2
-    for position, attr in enumerate(source_attrs):
-        if attr in source_needed:
-            emit(depth, f"{reg(attr)} = _key[{position}]")
+    for position, register in ir.loads:
+        emit(depth, f"{rname(register)} = _key[{position}]")
 
-    pay_var_by_child: Dict[int, str] = {}
-    ind_sum_vars: List[str] = []
-    if kind == "child":
-        pay_var_by_child[idx] = "_psrc"
-
-    for i, step in enumerate(plan):
-        schema = target_schemas[i]
-        probe = step.probe_attrs
-        if probe and probe != schema:
-            requests.append((f"_bkt{i}", ("buckets", i, probe)))
-            requests.append((f"_sum{i}", ("sums", i, probe)))
-        probe_key = _tuple_display([registers[a] for a in probe])
-        if step.aggregated:
+    op_pay: Dict[int, str] = {}
+    for i, op in enumerate(ops):
+        probe = op.probe_attrs
+        if isinstance(op, IndexProbe):
+            requests.append((f"_bkt{i}", ("buckets", op.target, probe)))
+            requests.append((f"_sum{i}", ("sums", op.target, probe)))
+        probe_key = _tuple_display([rname(r) for r in op.probe_regs])
+        if op.aggregated:
             if not probe:
-                pay = f"_t{i}"  # hoisted above the delta loop
-            elif probe == schema:
+                pass  # hoisted above the delta loop; payload is _t{i}
+            elif isinstance(op, Probe):
                 # Full-key probe: the stored payload *is* the bucket sum
                 # (primary-map entries are never zero).
                 emit(depth, f"_t{i} = _data{i}.get({probe_key})")
                 emit(depth, f"if _t{i} is not None:")
                 depth += 1
-                pay = f"_t{i}"
             else:
                 # Bucket sums may hold cancelled zeros; test them.
                 emit(depth, f"_t{i} = _sum{i}.get({probe_key})")
                 emit(depth, f"if _t{i} is not None and not _iszero(_t{i}):")
                 depth += 1
-                pay = f"_t{i}"
-            if step.kind == "child":
-                pay_var_by_child[step.index] = pay
-            else:
-                ind_sum_vars.append(pay)
+            op_pay[i] = f"_t{i}"
         else:
-            if probe == schema:
+            if isinstance(op, Probe) and probe:
                 emit(depth, f"_p{i} = _data{i}.get({probe_key})")
                 emit(depth, f"if _p{i} is not None:")
                 depth += 1
-            elif not probe:
+            elif isinstance(op, Probe):
                 emit(depth, f"for _k{i}, _p{i} in _data{i}.items():")
                 depth += 1
             else:
@@ -393,30 +361,26 @@ def _generate_slot(node, source, plan, target_schemas, query) -> _Generated:
                 depth += 1
                 emit(depth, f"for _k{i}, _p{i} in _b{i}.items():")
                 depth += 1
-            for attr in step.extend_attrs:
-                if attr in needed_after[i]:
-                    emit(depth, f"{reg(attr)} = _k{i}[{schema.index(attr)}]")
-            if step.kind == "child":
-                pay_var_by_child[step.index] = f"_p{i}"
-            # Indicator listing probes are pure filters: payload 1 each.
+            for position, register in op.extend:
+                emit(depth, f"{rname(register)} = _k{i}[{position}]")
+            op_pay[i] = f"_p{i}"
+        # For non-aggregated Probe-with-full-key the key var is the subkey
+        # itself; extends there are impossible (nothing new to bind) except
+        # through the scan form, which binds _k{i}.
 
-    # Innermost body: the payload product in the interpreter's exact order —
-    # children by child index, then aggregated indicator counts, then the
-    # indicator sign (central), then lifts in marginalization order.  The
+    # Innermost body: the payload product in the IR's reference order.  The
     # lift factors are folded together *first* and multiplied onto the
     # payload once: by associativity ``(v·l₁)·l₂ = v·(l₁·l₂)`` (order
     # preserved, so non-commutative rings are safe), and the intermediate
     # lift products stay small while the accumulated payload is the big one.
-    factors = [pay_var_by_child[c] for c in sorted(pay_var_by_child)]
-    factors += ind_sum_vars
-    if kind == "ind":
-        factors.append("_psrc")
+    factors = [
+        "_psrc" if where == "source" else op_pay[i]
+        for where, i in ir.accumulate.factors
+    ]
     lift_terms = []
-    for j, (var, lift) in enumerate(lift_entries):
-        if lift is None:
-            continue
+    for j, (var, register) in enumerate(ir.accumulate.lifts):
         requests.append((f"_lift{j}", ("lift", var)))
-        lift_terms.append(f"_lift{j}({registers[var]})")
+        lift_terms.append(f"_lift{j}({rname(register)})")
     if lift_terms:
         emit(depth, f"_lv = {lift_terms[0]}")
         for term in lift_terms[1:]:
@@ -428,18 +392,13 @@ def _generate_slot(node, source, plan, target_schemas, query) -> _Generated:
         emit(depth, f"_v = {factors[0]}")
         for factor in factors[1:]:
             emit(depth, f"_v = _mul(_v, {factor})")
-    missing = [a for a in out_attrs if a not in registers]
-    if missing:  # pragma: no cover - the planner always binds output keys
-        raise RuntimeError(
-            f"slot program for {node.name}: output keys {missing} unbound"
-        )
     # Accumulation is deferred: contributions are collected per output key
     # and summed once in :meth:`SlotProgram.run` via ``ring.sum`` — rings
     # with a vectorized sum (the cofactor ring stacks blocks) fold a whole
     # batch in a few array operations instead of pairwise allocations.
     # (Ring addition is commutative by the ring axioms, so the regrouping
     # is sound on every ring, including non-commutative-multiplication ones.)
-    emit(depth, f"_ok = {_tuple_display([registers[a] for a in out_attrs])}")
+    emit(depth, f"_ok = {_tuple_display([rname(r) for r in ir.accumulate.out_regs])}")
     emit(depth, "_cur = _out.get(_ok)")
     emit(depth, "if _cur is None:")
     emit(depth + 1, "_out[_ok] = [_v]")
@@ -448,31 +407,14 @@ def _generate_slot(node, source, plan, target_schemas, query) -> _Generated:
 
     source_text = "\n".join(lines) + "\n"
     code = compile(
-        source_text, f"<slot-program {node.name}:{kind}{idx}>", "exec"
+        source_text, f"<slot-program {ir.node_name}:{kind}{idx}>", "exec"
     )
-    return _Generated(code, requests, source_text, out_attrs)
+    return _Generated(code, requests, source_text, ir.out_schema)
 
 
 # ----------------------------------------------------------------------
 # Factor slot programs (the compiled factorized-update path)
 # ----------------------------------------------------------------------
-
-
-def _cache_site(cache, view, site):
-    """The per-``(view, site)`` memo dict inside a probe cache.
-
-    ``cache`` maps view names to per-view dicts (the engine invalidates a
-    whole view's entries by popping its name); each compiled op owns a
-    unique ``site`` sentinel keying its own sub-dict, so two ops probing
-    the same view never collide.
-    """
-    per_view = cache.get(view)
-    if per_view is None:
-        per_view = cache[view] = {}
-    per_site = per_view.get(site)
-    if per_site is None:
-        per_site = per_view[site] = {}
-    return per_site
 
 
 def _make_finalize(rsum, iszero):
@@ -496,6 +438,8 @@ def _make_finalize(rsum, iszero):
 class FactorProgram:
     """A compiled factorized-delta trigger for one ``(node, source)`` entry
     point and one factor-schema partition."""
+
+    backend = "source"
 
     __slots__ = ("node_name", "out_partition", "ring", "_fn", "source_text")
 
@@ -524,69 +468,33 @@ class FactorProgram:
 
 
 def compile_factor_program(
-    node,
-    source,
-    partition: Sequence[Tuple[str, ...]],
-    targets: Sequence[Relation],
-    materialized: bool,
-    query,
-    group_aware: bool = True,
-    library: Optional[ProgramLibrary] = None,
+    ir: FactorProgramIR, targets, query, library: Optional[ProgramLibrary] = None
 ) -> FactorProgram:
-    """Compile the factorized trigger for one node, source, and partition.
+    """Compile a factor IR program into a :class:`FactorProgram`.
 
-    ``partition`` is the tuple of factor schemas of the incoming rank-1
-    term (pairwise disjoint, covering the source child's keys);
-    ``targets`` the stored sibling relations in the interpreter's merge
-    order (children in child order, the entering child skipped, then
-    hosted indicator projections).  Mirrors
-    :meth:`FIVMEngine._propagate_factored` op for op; secondary indexes
-    the probes need are registered at bind time.  With a ``library``,
-    generated code is shared across isomorphic engines (sharding); the
-    engine canonicalizes ``partition`` before calling, so permuted factor
-    orders of one decomposition share one cache entry too.
+    ``targets`` are the stored sibling relations in the IR's merge order.
+    Secondary indexes the probes need are registered at bind time.  With a
+    ``library``, generated code is shared across isomorphic engines
+    (sharding); the engine canonicalizes the partition before lowering, so
+    permuted factor orders of one decomposition share one cache entry too.
     """
-    target_names = tuple(target.name for target in targets)
-    target_schemas = tuple(target.schema for target in targets)
-    key = (
-        "factor", node.name, source, tuple(tuple(s) for s in partition),
-        target_schemas, materialized, group_aware,
-    )
+    key = ("factor", ir)
     generated = library.lookup(key) if library is not None else None
     if generated is None:
-        generated = _generate_factor(
-            node, source, partition, target_names, target_schemas,
-            materialized, query, group_aware,
-        )
+        generated = _generate_factor(ir)
         if library is not None:
             library.store(key, generated)
     env = _bind_env(generated, targets, query)
     return FactorProgram(
-        node.name, generated.meta, query.ring, env["_factor"],
+        ir.node_name, generated.meta, query.ring, env["_factor"],
         generated.source_text,
     )
 
 
-def _generate_factor(
-    node,
-    source,
-    partition: Sequence[Tuple[str, ...]],
-    target_names: Sequence[str],
-    target_schemas: Sequence[Tuple[str, ...]],
-    materialized: bool,
-    query,
-    group_aware: bool,
-) -> _Generated:
-    """Generate the factor-program source and environment requests; reads
-    target names and schemas only (see the module docstring)."""
-    kind, idx = source
-    if kind != "child":
-        raise ValueError("factorized deltas always enter through a child")
-    if not partition:
-        raise ValueError("a factor program needs at least one factor")
-    lift_table = query.lifting.table()
-    droppable = set(node.marginalized) - set(node.keys)
-
+def _generate_factor(ir: FactorProgramIR) -> _Generated:
+    """Generate the factor-program source and environment requests from IR
+    (target names and schemas only — see the module docstring)."""
+    kind, idx = ir.source
     requests: List[tuple] = []
     lines: List[str] = ["def _factor(_fs, _cache):"]
 
@@ -603,64 +511,34 @@ def _generate_factor(
             requests.append((name, ("lift", var)))
         return name
 
-    #: One entry per live factor: [schema, runtime expression, pristine
-    #: sibling *name* or None].  A "pristine" slot aliases a stored
-    #: sibling's primary map untouched — its collapses are cacheable.
-    slots: List[list] = [
-        [tuple(schema), f"_fs[{i}]", None] for i, schema in enumerate(partition)
-    ]
-    fused_away: Set[str] = set()
-    op = 0
+    #: Runtime expression per slot id.
+    exprs: Dict[int, str] = {
+        slot.id: f"_fs[{i}]" for i, slot in enumerate(ir.initial_slots)
+    }
+    op_no = 0
 
     # ---- sibling merges (the fused join_project loop nests) ----
-    for ti in range(len(target_schemas)):
-        ts = target_schemas[ti]
-        ts_set = set(ts)
-        sharing = [i for i, slot in enumerate(slots) if ts_set & set(slot[0])]
-        if not sharing:
-            requests.append((f"_sd{ti}", ("data", ti)))
-            slots.append([ts, f"_sd{ti}", target_names[ti]])
+    for op in ir.ops:
+        if not isinstance(op, SiblingMerge):
+            # AppendSibling: alias the stored sibling's primary map.
+            requests.append((f"_sd{op.target}", ("data", op.target)))
+            exprs[op.slot.id] = f"_sd{op.target}"
             continue
-        n = op
-        op += 1
-        pending: Set[str] = set()
-        for later in target_schemas[ti + 1:]:
-            pending |= set(later)
-        rest = [i for i in range(len(slots)) if i not in set(sharing)]
-        rest_attrs = {a for i in rest for a in slots[i][0]}
-        shared_attrs = {a for i in sharing for a in slots[i][0]}
-        merged_schema: List[str] = list(ts)
-        for i in sharing:
-            merged_schema += [a for a in slots[i][0] if a not in merged_schema]
-        droppable_now = droppable - pending
-        drop = tuple(
-            v for v in merged_schema
-            if v in droppable_now and v not in rest_attrs
-        )
-        out_schema = tuple(a for a in merged_schema if a not in drop)
-        fused_away.update(drop)
-
-        probe = tuple(a for a in ts if a in shared_attrs)
-        extends = tuple(a for a in ts if a not in shared_attrs)
-        dropped_extends = tuple(a for a in extends if a in drop)
-        aggregated = bool(
-            group_aware and extends and len(dropped_extends) == len(extends)
-        )
-        ext_lifts = [
-            (ts.index(a), a) for a in dropped_extends
-            if lift_table.get(a) is not None
-        ]
-        cached = aggregated and bool(ext_lifts)
+        n = op_no
+        op_no += 1
+        ts = op.target_schema
+        probe = op.probe_attrs
+        mode = op.mode
 
         if probe != ts:
-            requests.append((f"_bk{n}", ("buckets", ti, probe)))
-            if aggregated and not cached:
-                requests.append((f"_ss{n}", ("sums", ti, probe)))
-        if probe == ts:
-            requests.append((f"_sd{n}x", ("data", ti)))
-        if cached:
+            requests.append((f"_bk{n}", ("buckets", op.target, probe)))
+            if mode == "sum":
+                requests.append((f"_ss{n}", ("sums", op.target, probe)))
+        if mode == "full":
+            requests.append((f"_sd{n}x", ("data", op.target)))
+        if mode in ("cached", "memo"):
             requests.append((f"_sid{n}", ("sentinel",)))
-            emit(1, f"_cs{n} = _site(_cache, {target_names[ti]!r}, _sid{n})")
+            emit(1, f"_cs{n} = _site(_cache, {op.target_name!r}, _sid{n})")
 
         registers: Dict[str, str] = {}
 
@@ -671,29 +549,26 @@ def _generate_factor(
                 registers[attr] = name
             return name
 
-        needed = set(probe) | set(out_schema) | {
-            v for v in drop if lift_table.get(v) is not None
-        }
+        needed = set(probe) | set(op.out.schema) | set(op.row_lifts)
 
         emit(1, f"_m{n} = {{}}")
         depth = 1
-        for j, si in enumerate(sharing):
-            schema_i, expr_i, _ = slots[si]
+        for j, slot in enumerate(op.inputs):
             kv = f"_k{n}_{j}"
-            emit(depth, f"for {kv}, _p{n}_{j} in {expr_i}.items():")
+            emit(depth, f"for {kv}, _p{n}_{j} in {exprs[slot.id]}.items():")
             depth += 1
-            for pos, attr in enumerate(schema_i):
+            for pos, attr in enumerate(slot.schema):
                 if attr in needed:
                     emit(depth, f"{reg(attr)} = {kv}[{pos}]")
         subkey = _tuple_display([registers[a] for a in probe])
 
-        if not extends:
+        if mode == "full":
             # Full-key probe: the stored payload is the whole match.
             emit(depth, f"_t{n} = _sd{n}x.get({subkey})")
             emit(depth, f"if _t{n} is not None:")
             depth += 1
             sib_pay = f"_t{n}"
-        elif aggregated and not cached:
+        elif mode == "sum":
             # Group-aware probe: the index bucket sum is the contribution
             # (no lifts on the summed-out attributes).  Sums may hold
             # cancelled zeros; test them.
@@ -701,7 +576,7 @@ def _generate_factor(
             emit(depth, f"if _t{n} is not None and not _iszero(_t{n}):")
             depth += 1
             sib_pay = f"_t{n}"
-        elif cached:
+        elif mode == "cached":
             # Lifted bucket collapse, memoized in the shared probe cache:
             # later terms (and later relations in a batch) probing the
             # same subkey reuse the folded sum.
@@ -715,7 +590,7 @@ def _generate_factor(
             emit(depth + 2, f"_acc{n} = []")
             emit(depth + 2, f"for _tk{n}, _tp{n} in _b{n}.items():")
             first = True
-            for pos, var in ext_lifts:
+            for pos, var in op.ext_lifts:
                 term = f"{lift_ref(var)}(_tk{n}[{pos}])"
                 if first:
                     emit(depth + 3, f"_lv{n} = {term}")
@@ -728,27 +603,60 @@ def _generate_factor(
             emit(depth, f"if not _iszero(_t{n}):")
             depth += 1
             sib_pay = f"_t{n}"
-        else:
+        elif mode == "memo":
+            # Partial-match probe sharing: the bucket reduced to the
+            # surviving extends (dropped lifted extends folded in, rows
+            # pre-aggregated per surviving key), memoized per subkey.
+            emit(depth, f"_sk{n} = {subkey}")
+            emit(depth, f"_rw{n} = _cs{n}.get(_sk{n})")
+            emit(depth, f"if _rw{n} is None:")
+            emit(depth + 1, f"_b{n} = _bk{n}.get(_sk{n})")
+            emit(depth + 1, f"if _b{n} is None:")
+            emit(depth + 2, f"_rw{n} = ()")
+            emit(depth + 1, "else:")
+            emit(depth + 2, f"_ra{n} = {{}}")
+            emit(depth + 2, f"for _tk{n}, _tp{n} in _b{n}.items():")
+            fold = f"_tp{n}"
+            for pos, var in op.ext_lifts:
+                emit(
+                    depth + 3,
+                    f"_tp{n} = _mul({fold}, {lift_ref(var)}(_tk{n}[{pos}]))",
+                )
+            kept_key = _tuple_display([
+                f"_tk{n}[{ts.index(a)}]" for a in op.kept_extends
+            ])
+            emit(depth + 3, f"_ek{n} = {kept_key}")
+            emit(depth + 3, f"_rc{n} = _ra{n}.get(_ek{n})")
+            emit(depth + 3, f"if _rc{n} is None:")
+            emit(depth + 4, f"_ra{n}[_ek{n}] = [_tp{n}]")
+            emit(depth + 3, "else:")
+            emit(depth + 4, f"_rc{n}.append(_tp{n})")
+            emit(depth + 2, f"_rw{n} = tuple(_finalize(_ra{n}).items())")
+            emit(depth + 1, f"_cs{n}[_sk{n}] = _rw{n}")
+            emit(depth, f"for _ek{n}, _tp{n} in _rw{n}:")
+            depth += 1
+            for j, attr in enumerate(op.kept_extends):
+                if attr in needed:
+                    emit(depth, f"{reg(attr)} = _ek{n}[{j}]")
+            sib_pay = f"_tp{n}"
+        else:  # "iterate"
             emit(depth, f"_b{n} = _bk{n}.get({subkey})")
             emit(depth, f"if _b{n}:")
             depth += 1
             emit(depth, f"for _tk{n}, _tp{n} in _b{n}.items():")
             depth += 1
-            ext_set = set(extends)
             for pos, attr in enumerate(ts):
-                if attr in ext_set and attr in needed:
+                if attr in set(op.extends) and attr in needed:
                     emit(depth, f"{reg(attr)} = _tk{n}[{pos}]")
             sib_pay = f"_tp{n}"
 
-        pays = [f"_p{n}_{j}" for j in range(len(sharing))] + [sib_pay]
+        pays = [f"_p{n}_{j}" for j in range(len(op.inputs))] + [sib_pay]
         emit(depth, f"_v{n} = {pays[0]}")
         for pay in pays[1:]:
             emit(depth, f"_v{n} = _mul(_v{n}, {pay})")
-        for var in drop:
-            if lift_table.get(var) is None or var not in registers:
-                continue  # aggregated extends fold their lifts into _t
+        for var in op.row_lifts:
             emit(depth, f"_v{n} = _mul(_v{n}, {lift_ref(var)}({registers[var]}))")
-        emit(depth, f"_ok{n} = {_tuple_display([registers[a] for a in out_schema])}")
+        emit(depth, f"_ok{n} = {_tuple_display([registers[a] for a in op.out.schema])}")
         emit(depth, f"_cur{n} = _m{n}.get(_ok{n})")
         emit(depth, f"if _cur{n} is None:")
         emit(depth + 1, f"_m{n}[_ok{n}] = [_v{n}]")
@@ -756,47 +664,30 @@ def _generate_factor(
         emit(depth + 1, f"_cur{n}.append(_v{n})")
         emit(1, f"_m{n} = _finalize(_m{n})")
         emit(1, f"if not _m{n}: return _NONE")
-        slots = [slots[i] for i in rest] + [[out_schema, f"_m{n}", None]]
+        exprs[op.out.id] = f"_m{n}"
 
     # ---- leftover marginalizations, fused per factor ----
-    marg_vars: Dict[int, List[str]] = {}
-    for var in node.marginalized:
-        if var in fused_away:
-            continue
-        for i, slot in enumerate(slots):
-            if var in slot[0]:
-                marg_vars.setdefault(i, []).append(var)
-                break
-        else:
-            raise RuntimeError(
-                f"variable {var} not found in any delta factor"
-            )
-    for i, vars_i in marg_vars.items():
-        n = op
-        op += 1
-        schema_i, expr_i, pristine = slots[i]
-        var_set = set(vars_i)
-        out_schema = tuple(a for a in schema_i if a not in var_set)
-        lifted = [
-            (schema_i.index(v), v) for v in vars_i
-            if lift_table.get(v) is not None
-        ]
+    for op in ir.margs:
+        n = op_no
+        op_no += 1
+        schema_i = op.input.schema
+        expr_i = exprs[op.input.id]
         base = 1
-        if pristine is not None:
+        if op.input.pristine is not None:
             # A whole-sibling collapse: the result depends only on the
             # stored view, so it is memoized per view state.
             requests.append((f"_sid{n}", ("sentinel",)))
-            emit(1, f"_cs{n} = _site(_cache, {pristine!r}, _sid{n})")
+            emit(1, f"_cs{n} = _site(_cache, {op.input.pristine!r}, _sid{n})")
             emit(1, f"_g{n} = _cs{n}.get(0)")
             emit(1, f"if _g{n} is None:")
             base = 2
         emit(base, f"_g{n} = {{}}")
         emit(base, f"for _k{n}, _p{n} in {expr_i}.items():")
         emit(base + 1, f"_v{n} = _p{n}")
-        for pos, var in lifted:
+        for pos, var in op.lifted:
             emit(base + 1, f"_v{n} = _mul(_v{n}, {lift_ref(var)}(_k{n}[{pos}]))")
         key = _tuple_display(
-            [f"_k{n}[{schema_i.index(a)}]" for a in out_schema]
+            [f"_k{n}[{schema_i.index(a)}]" for a in op.out.schema]
         )
         emit(base + 1, f"_ok{n} = {key}")
         emit(base + 1, f"_cur{n} = _g{n}.get(_ok{n})")
@@ -805,37 +696,33 @@ def _generate_factor(
         emit(base + 1, "else:")
         emit(base + 2, f"_cur{n}.append(_v{n})")
         emit(base, f"_g{n} = _finalize(_g{n})")
-        if pristine is not None:
+        if op.input.pristine is not None:
             emit(base, f"_cs{n}[0] = _g{n}")
         emit(1, f"if not _g{n}: return _NONE")
-        slots[i] = [out_schema, f"_g{n}", None]
+        exprs[op.out.id] = f"_g{n}"
 
     # ---- flatten at materialized nodes ----
     flat_expr = "None"
-    if materialized:
-        covered: Set[str] = set()
-        for slot in slots:
-            covered |= set(slot[0])
-        if covered != set(node.keys):
-            raise RuntimeError(
-                f"flattened delta schema {sorted(covered)} != view keys "
-                f"{node.keys} at {node.name}"
-            )
-        n = op
-        op += 1
-        if len(slots) == 1 and tuple(slots[0][0]) == tuple(node.keys):
-            emit(1, f"_fl{n} = dict({slots[0][1]})")
+    if ir.flatten is not None:
+        flatten = ir.flatten
+        n = op_no
+        op_no += 1
+        if (
+            len(flatten.inputs) == 1
+            and flatten.inputs[0].schema == flatten.out_keys
+        ):
+            emit(1, f"_fl{n} = dict({exprs[flatten.inputs[0].id]})")
         else:
             key_src: Dict[str, str] = {}
             emit(1, f"_fl{n} = {{}}")
             depth = 1
-            for j, slot in enumerate(slots):
+            for j, slot in enumerate(flatten.inputs):
                 kv = f"_fk{n}_{j}"
-                emit(depth, f"for {kv}, _fp{n}_{j} in {slot[1]}.items():")
+                emit(depth, f"for {kv}, _fp{n}_{j} in {exprs[slot.id]}.items():")
                 depth += 1
-                for pos, attr in enumerate(slot[0]):
+                for pos, attr in enumerate(slot.schema):
                     key_src[attr] = f"{kv}[{pos}]"
-            pays = [f"_fp{n}_{j}" for j in range(len(slots))]
+            pays = [f"_fp{n}_{j}" for j in range(len(flatten.inputs))]
             emit(depth, f"_fv{n} = {pays[0]}")
             for pay in pays[1:]:
                 emit(depth, f"_fv{n} = _mul(_fv{n}, {pay})")
@@ -843,19 +730,17 @@ def _generate_factor(
             # distinct key — but a product of non-zeros can still cancel
             # (truncating rings), hence the per-entry test.
             emit(depth, f"if not _iszero(_fv{n}):")
-            out_key = _tuple_display([key_src[a] for a in node.keys])
+            out_key = _tuple_display([key_src[a] for a in flatten.out_keys])
             emit(depth + 1, f"_fl{n}[{out_key}] = _fv{n}")
         flat_expr = f"_fl{n}"
 
-    outs = ", ".join(slot[1] for slot in slots)
-    if len(slots) == 1:
+    outs = ", ".join(exprs[slot.id] for slot in ir.out_slots)
+    if len(ir.out_slots) == 1:
         outs += ","
     emit(1, f"return (({outs}), {flat_expr})")
 
     source_text = "\n".join(lines) + "\n"
     code = compile(
-        source_text, f"<factor-program {node.name}:{kind}{idx}>", "exec"
+        source_text, f"<factor-program {ir.node_name}:{kind}{idx}>", "exec"
     )
-    return _Generated(
-        code, requests, source_text, tuple(tuple(slot[0]) for slot in slots)
-    )
+    return _Generated(code, requests, source_text, ir.out_partition)

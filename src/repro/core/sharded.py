@@ -51,7 +51,12 @@ import traceback
 import zlib
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.engine import FIVMEngine, check_delta, check_factorized
+from repro.core.engine import (
+    FIVMEngine,
+    check_delta,
+    check_factorized,
+    resolve_backend,
+)
 from repro.core.factorized_update import FactorizedUpdate, decompose
 from repro.core.materialization import materialization_flags
 from repro.core.plan_exec import ProgramLibrary
@@ -335,6 +340,10 @@ class ShardedFIVMEngine:
         ``"inline"`` (in-process, deterministic, shared program library)
         or ``"process"`` (one forked worker per shard; falls back to
         inline on platforms without the ``fork`` start method).
+    backend:
+        Trigger backend inherited unchanged by every shard engine
+        (``"interpreter"``, ``"source"``, or ``"kernels"``; overrides the
+        legacy ``compiled`` flag — see :class:`FIVMEngine`).
     hasher:
         Value-level hash used for routing; must be deterministic across
         processes (default :func:`stable_hash`).
@@ -353,6 +362,7 @@ class ShardedFIVMEngine:
         materialize: str = "auto",
         group_aware: bool = True,
         compiled: bool = True,
+        backend: Optional[str] = None,
         hasher: Callable[[object], int] = stable_hash,
     ):
         if shards < 1:
@@ -424,8 +434,15 @@ class ShardedFIVMEngine:
                 materialize=materialize,
                 group_aware=group_aware,
                 compiled=compiled,
+                backend=backend,
                 program_library=library,
             )
+
+        #: The per-shard engines inherit the trigger backend unchanged —
+        #: the backend policy is node-local, so it composes with sharding.
+        #: Resolved (and validated) here, before any worker forks, through
+        #: the same helper the shard engines themselves use.
+        self.backend = resolve_backend(backend, compiled)
 
         factories = [factory] * self.shards
         if executor == "inline":

@@ -114,6 +114,20 @@ class Ring(ABC):
         """Return ``a`` added to itself ``n`` times (``n`` may be negative)."""
         return self.mul(self.from_int(n), a)
 
+    def kernel_ops(self):
+        """Array-execution hooks for the NumPy kernel backend.
+
+        Rings that can pack payload columns into arrays return an object
+        with the :mod:`repro.core.kernels` protocol — ``combine(n,
+        factor_cols, lift_cols)`` multiplying whole columns at once,
+        ``reduce(packed, group_ids, n_groups)`` folding rows per output
+        key, and ``unpack(reduced)`` yielding payloads — all semantically
+        equal to the scalar ``mul``/``sum`` fold.  ``None`` (the default)
+        means the kernel backend falls back to generated source for nodes
+        over this ring.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name}>"
 

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.rings.base import Ring
 
-__all__ = ["CofactorTriple", "CofactorRing"]
+__all__ = ["CofactorTriple", "CofactorRing", "CofactorKernelOps"]
 
 
 class CofactorTriple:
@@ -444,6 +444,9 @@ class CofactorRing(Ring):
     def from_int(self, n: int) -> CofactorTriple:
         return CofactorTriple(self.degree, float(n))
 
+    def kernel_ops(self) -> "CofactorKernelOps":
+        return CofactorKernelOps(self)
+
     def lift(self, index: int) -> Callable[[object], CofactorTriple]:
         """The lifting function ``g_{X_j}`` of Section 6.2 for variable ``j``.
 
@@ -480,3 +483,145 @@ class CofactorRing(Ring):
             return triple
 
         return _lift
+
+
+# ----------------------------------------------------------------------
+# Array pack/unpack hooks (the NumPy kernel backend)
+# ----------------------------------------------------------------------
+
+
+class CofactorKernelOps:
+    """Batched triple arithmetic for the kernel backend.
+
+    A column of n same-support triples packs into ``(counts (n,), sums
+    (n, k), quads (n, k, k), support)`` — the structure-of-arrays twin of
+    :class:`CofactorTriple`.  The ring product of two packed columns is
+    the vectorized Definition 6.2 formula (cross terms scattered through
+    the cached flat merge maps, exactly like the scalar :meth:`mul`), and
+    the per-output-key fold is one sort + ``np.add.reduceat`` pass over
+    the stacked blocks — n ring operations collapse into a handful of
+    array expressions.
+
+    Mixed-support columns (rare: payloads at one tree node share their
+    support by construction, since support = the variables lifted below)
+    return ``None`` from :meth:`pack`, signalling the kernel program to
+    fall back to the scalar ring fold for that batch — a correctness
+    escape hatch, not a soundness condition.
+    """
+
+    __slots__ = ("ring", "degree")
+
+    def __init__(self, ring: "CofactorRing"):
+        self.ring = ring
+        self.degree = ring.degree
+
+    # -- packing -------------------------------------------------------
+
+    def pack(self, column, n: int):
+        """Stack a payload column; ``None`` when supports are mixed."""
+        first = column[0].support
+        for triple in column:
+            if triple.support != first:
+                return None
+        counts = np.fromiter(
+            (triple.count for triple in column), dtype=float, count=n
+        )
+        if not first:
+            return (counts, None, None, ())
+        sums = np.array([triple.sums for triple in column])
+        quads = np.array([triple.quads for triple in column])
+        return (counts, sums, quads, first)
+
+    # -- the vectorized ring product -----------------------------------
+
+    def _mul(self, a, b, n: int):
+        ca, sa, qa, supa = a
+        cb, sb, qb, supb = b
+        count = ca * cb
+        if not supb:
+            if not supa:
+                return (count, None, None, ())
+            return (count, cb[:, None] * sa, cb[:, None, None] * qa, supa)
+        if not supa:
+            return (count, ca[:, None] * sb, ca[:, None, None] * qb, supb)
+        if supa == supb:
+            cross = sa[:, :, None] * sb[:, None, :]
+            return (
+                count,
+                cb[:, None] * sa + ca[:, None] * sb,
+                cb[:, None, None] * qa + ca[:, None, None] * qb
+                + cross + cross.transpose(0, 2, 1),
+                supa,
+            )
+        union, k, pos_a, pos_b, flat_aa, flat_bb, flat_ab, flat_ba = (
+            _merge_maps(supa, supb)
+        )
+        sums = np.zeros((n, k))
+        sums[:, pos_a] = cb[:, None] * sa
+        sums[:, pos_b] += ca[:, None] * sb
+        flat = np.zeros((n, k * k))
+        flat[:, flat_aa] = cb[:, None] * qa.reshape(n, -1)
+        flat[:, flat_bb] += ca[:, None] * qb.reshape(n, -1)
+        cross = sa[:, :, None] * sb[:, None, :]
+        flat[:, flat_ab] += cross.reshape(n, -1)
+        flat[:, flat_ba] += cross.transpose(0, 2, 1).reshape(n, -1)
+        return (count, sums, flat.reshape(n, k, k), union)
+
+    def combine(self, n: int, factor_cols, lift_cols):
+        """Row-wise product of all payload columns (lift columns map their
+        raw key values through the memoizing lift first); ``None`` falls
+        back to the scalar path."""
+        packed = None
+        for col in factor_cols:
+            p = self.pack(col, n)
+            if p is None:
+                return None
+            packed = p if packed is None else self._mul(packed, p, n)
+        for lift, col in lift_cols:
+            p = self.pack([lift(value) for value in col], n)
+            if p is None:  # pragma: no cover - lifts share one support
+                return None
+            packed = p if packed is None else self._mul(packed, p, n)
+        if packed is None:
+            packed = (np.ones(n), None, None, ())
+        return packed
+
+    # -- grouped reduction ---------------------------------------------
+
+    def reduce(self, packed, group_ids, n_groups: int):
+        """Fold rows per output key: counts via ``np.bincount``, blocks by
+        sorting on the group id and one ``np.add.reduceat`` per block kind.
+        Every group id in ``range(n_groups)`` must occur (the kernel
+        program assigns ids first-seen), so the reduceat segments line up
+        with the group numbering."""
+        counts, sums, quads, support = packed
+        red_counts = np.bincount(group_ids, weights=counts, minlength=n_groups)
+        if sums is None:
+            return (red_counts, None, None, ())
+        n = len(group_ids)
+        order = np.argsort(group_ids, kind="stable")
+        sorted_ids = group_ids[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
+        )
+        red_sums = np.add.reduceat(sums[order], starts, axis=0)
+        red_quads = np.add.reduceat(
+            quads.reshape(n, -1)[order], starts, axis=0
+        )
+        k = len(support)
+        return (red_counts, red_sums, red_quads.reshape(-1, k, k), support)
+
+    def unpack(self, reduced):
+        """Per-group :class:`CofactorTriple` views over the reduced blocks
+        (safe to share: triples never mutate their blocks)."""
+        counts, sums, quads, support = reduced
+        make = CofactorTriple._make
+        degree = self.degree
+        if sums is None:
+            return [
+                make(degree, count, None, None, ()) for count in counts
+            ]
+        return [
+            make(degree, counts[g], sums[g], quads[g], support)
+            for g in range(len(counts))
+        ]

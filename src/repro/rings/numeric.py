@@ -9,6 +9,8 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
+import numpy as np
+
 from repro.rings.base import Ring
 
 __all__ = [
@@ -17,10 +19,53 @@ __all__ = [
     "BooleanSemiring",
     "MaxProductSemiring",
     "VectorRing",
+    "ScalarKernelOps",
     "INT_RING",
     "REAL_RING",
     "BOOL_SEMIRING",
 ]
+
+
+class ScalarKernelOps:
+    """Array pack/unpack hooks for scalar rings (the kernel backend).
+
+    Payload columns become one NumPy array each; the payload product is an
+    element-wise array multiply, lifting maps the raw key values before
+    packing, and the per-output-key ``Ring.sum`` fold becomes one grouped
+    reduction (``np.bincount`` over the group-id vector).  Semantically
+    identical to the scalar fold — addition and multiplication of machine
+    scalars are exact within the dtype (ℤ payloads ride int64: overflow
+    beyond 2⁶³ is out of scope for multiplicity counting).
+    """
+
+    __slots__ = ("dtype",)
+
+    def __init__(self, dtype):
+        self.dtype = dtype
+
+    def combine(self, n, factor_cols, lift_cols):
+        """The row-wise payload product of all columns (length-``n``)."""
+        arr = None
+        for col in factor_cols:
+            a = np.asarray(col, dtype=self.dtype)
+            arr = a if arr is None else arr * a
+        for lift, col in lift_cols:
+            a = np.asarray([lift(value) for value in col], dtype=self.dtype)
+            arr = a if arr is None else arr * a
+        if arr is None:
+            arr = np.ones(n, dtype=self.dtype)
+        return arr
+
+    def reduce(self, packed, group_ids, n_groups):
+        """Fold rows onto their output keys (one grouped reduction)."""
+        if self.dtype is np.float64:
+            return np.bincount(group_ids, weights=packed, minlength=n_groups)
+        out = np.zeros(n_groups, dtype=self.dtype)
+        np.add.at(out, group_ids, packed)
+        return out
+
+    def unpack(self, reduced):
+        return reduced.tolist()
 
 
 class IntegerRing(Ring):
@@ -50,6 +95,9 @@ class IntegerRing(Ring):
 
     def sum(self, items) -> int:
         return sum(items)
+
+    def kernel_ops(self):
+        return ScalarKernelOps(np.int64)
 
 
 class RealRing(Ring):
@@ -95,6 +143,9 @@ class RealRing(Ring):
 
     def sum(self, items) -> float:
         return sum(items)
+
+    def kernel_ops(self):
+        return ScalarKernelOps(np.float64)
 
 
 class BooleanSemiring(Ring):

@@ -4,17 +4,19 @@ A seeded generator draws random cases — schemas, variable orders (via the
 heuristic), free variables, lifting assignments — and random update
 *streams* mixing single-relation deltas, multi-relation ``apply_batch``
 groups (including factorized items), factorized rank-r updates, and
-``apply_decomposed_update`` calls.  Three implementations must agree on
+``apply_decomposed_update`` calls.  Every trigger backend must agree on
 every per-update root delta and on the final state of every materialized
 view:
 
-* the slot-compiled engine (``FIVMEngine(compiled=True)``) — including the
-  compiled factorized path and its shared probe cache,
-* the dict-binding/relational-ops interpreter (``compiled=False``), the
-  reference semantics,
+* one :class:`FIVMEngine` per IR backend — ``"source"`` (generated
+  triggers, including the compiled factorized path and its shared probe
+  cache), ``"kernels"`` (vectorized NumPy execution where the ring packs,
+  generated source elsewhere), and ``"interpreter"`` (the IR walker, the
+  reference semantics),
 * the hash-partitioned :class:`ShardedFIVMEngine` (three shards, inline
-  executor, shard-key defaulted to the variable-order root) — per-update
-  merged root deltas and final merged views,
+  executor, shard-key defaulted to the variable-order root, inheriting
+  the primary backend) — per-update merged root deltas and final merged
+  views,
 * :class:`RecursiveIVM` (the DBToaster-style baseline) on commutative
   rings, plus from-scratch factorized recomputation on every ring.
 
@@ -27,7 +29,9 @@ regression test.
 ``FIVM_DIFF_STREAMS_PER_RING`` scales the stream count per ring family
 (default 40 → 200 streams total); the scheduled nightly CI job elevates it
 to 200 (1000 streams) to sweep a wider seed range than per-push CI can
-afford.
+afford.  ``FIVM_BACKEND`` narrows the backend set to one primary backend
+(the interpreter rides along as the reference) — the CI tier-1 matrix
+runs the suite once per backend that way.
 """
 
 from __future__ import annotations
@@ -64,6 +68,15 @@ from tests.conftest import recompute
 
 #: Fixed base seed: every CI run replays the exact same ≥200 streams.
 BASE_SEED = 0xF1B2
+
+#: Trigger backends under differential test.  ``FIVM_BACKEND=<name>``
+#: narrows the set to that backend plus the interpreter reference, which
+#: is how the CI matrix runs the suite once per backend.
+_ENV_BACKEND = os.environ.get("FIVM_BACKEND", "").strip()
+if _ENV_BACKEND:
+    BACKENDS = tuple(dict.fromkeys((_ENV_BACKEND, "interpreter")))
+else:
+    BACKENDS = ("source", "kernels", "interpreter")
 #: Streams per ring family; the nightly CI job raises this via the
 #: environment (FIVM_DIFF_STREAMS_PER_RING=200 → 1000 streams) while
 #: per-push runs keep the fast default.
@@ -255,8 +268,8 @@ def _as_factorized(rel: str, ring, terms) -> FactorizedUpdate:
 
 
 def run_case(case: dict, ring_family) -> Optional[str]:
-    """Replay one case through all implementations; returns a divergence
-    description, or None when every oracle agrees."""
+    """Replay one case through every backend and oracle; returns a
+    divergence description, or None when they all agree."""
     schemas = case["schemas"]
     attrs = tuple(sorted({a for s in schemas.values() for a in s}))
     ring, lifts = ring_family(attrs)
@@ -269,10 +282,13 @@ def run_case(case: dict, ring_family) -> Optional[str]:
         )
 
     order = VariableOrder.auto(make_query("o"))
-    compiled = FIVMEngine(make_query("c"), order, compiled=True)
-    interp = FIVMEngine(make_query("i"), order, compiled=False)
+    primary = BACKENDS[0]
+    engines = {
+        backend: FIVMEngine(make_query(backend), order, backend=backend)
+        for backend in BACKENDS
+    }
     sharded = ShardedFIVMEngine(
-        make_query("s"), order, shards=3, executor="inline"
+        make_query("s"), order, shards=3, executor="inline", backend=primary
     )
     recursive = RecursiveIVM(make_query("r")) if commutative else None
     db = Database(
@@ -287,39 +303,51 @@ def run_case(case: dict, ring_family) -> Optional[str]:
     for step, event in enumerate(case["events"]):
         kind = event["kind"]
         rec_total: Optional[Relation] = None
+        roots: Dict[str, Relation] = {}
         if kind == "update":
-            delta = _as_delta(
-                event["rel"], schemas[event["rel"]], ring, event["data"]
-            )
-            root_c = compiled.apply_update(delta.copy())
-            root_i = interp.apply_update(delta.copy())
-            root_s = sharded.apply_update(delta.copy())
-            rec_total = recursive_apply(delta)
-            db.apply_update(delta)
+            def fresh():
+                return _as_delta(
+                    event["rel"], schemas[event["rel"]], ring, event["data"]
+                )
+
+            for name, engine in engines.items():
+                roots[name] = engine.apply_update(fresh())
+            roots["sharded"] = sharded.apply_update(fresh())
+            rec_total = recursive_apply(fresh())
+            db.apply_update(fresh())
         elif kind == "batch":
-            items_c, items_i, items_s = [], [], []
-            flats = []
-            for item in event["items"]:
-                rel = item["rel"]
-                if item["kind"] == "factorized":
-                    items_c.append(_as_factorized(rel, ring, item["terms"]))
-                    items_i.append(_as_factorized(rel, ring, item["terms"]))
-                    items_s.append(_as_factorized(rel, ring, item["terms"]))
-                    flats.append(
-                        _as_factorized(rel, ring, item["terms"]).flatten(
-                            schemas[rel], name=rel
+            def build_items():
+                items = []
+                for item in event["items"]:
+                    rel = item["rel"]
+                    if item["kind"] == "factorized":
+                        items.append(_as_factorized(rel, ring, item["terms"]))
+                    else:
+                        items.append(
+                            _as_delta(rel, schemas[rel], ring, item["data"])
                         )
-                    )
-                else:
-                    delta = _as_delta(rel, schemas[rel], ring, item["data"])
-                    items_c.append(delta.copy())
-                    items_i.append(delta.copy())
-                    items_s.append(delta.copy())
-                    flats.append(delta)
-            root_c = compiled.apply_batch(items_c)
-            root_i = interp.apply_batch(items_i)
-            root_s = sharded.apply_batch(items_s)
-            for flat in flats:
+                return items
+
+            def build_flats():
+                flats = []
+                for item in event["items"]:
+                    rel = item["rel"]
+                    if item["kind"] == "factorized":
+                        flats.append(
+                            _as_factorized(rel, ring, item["terms"]).flatten(
+                                schemas[rel], name=rel
+                            )
+                        )
+                    else:
+                        flats.append(
+                            _as_delta(rel, schemas[rel], ring, item["data"])
+                        )
+                return flats
+
+            for name, engine in engines.items():
+                roots[name] = engine.apply_batch(build_items())
+            roots["sharded"] = sharded.apply_batch(build_items())
+            for flat in build_flats():
                 contribution = recursive_apply(flat)
                 if contribution is not None:
                     rec_total = (
@@ -331,12 +359,13 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             if not commutative:
                 continue
             rel = event["rel"]
-            update_c = _as_factorized(rel, ring, event["terms"])
-            update_i = _as_factorized(rel, ring, event["terms"])
-            update_s = _as_factorized(rel, ring, event["terms"])
-            root_c = compiled.apply_factorized_update(update_c)
-            root_i = interp.apply_factorized_update(update_i)
-            root_s = sharded.apply_factorized_update(update_s)
+            for name, engine in engines.items():
+                roots[name] = engine.apply_factorized_update(
+                    _as_factorized(rel, ring, event["terms"])
+                )
+            roots["sharded"] = sharded.apply_factorized_update(
+                _as_factorized(rel, ring, event["terms"])
+            )
             flat = _as_factorized(rel, ring, event["terms"]).flatten(
                 schemas[rel], name=rel
             )
@@ -346,46 +375,57 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             if not commutative:
                 continue
             rel = event["rel"]
-            delta = _as_delta(rel, schemas[rel], ring, event["data"])
-            root_c = compiled.apply_decomposed_update(delta.copy())
-            root_i = interp.apply_decomposed_update(delta.copy())
-            root_s = sharded.apply_decomposed_update(delta.copy())
-            rec_total = recursive_apply(delta)
-            db.apply_update(delta)
+
+            def fresh():
+                return _as_delta(rel, schemas[rel], ring, event["data"])
+
+            for name, engine in engines.items():
+                roots[name] = engine.apply_decomposed_update(fresh())
+            roots["sharded"] = sharded.apply_decomposed_update(fresh())
+            rec_total = recursive_apply(fresh())
+            db.apply_update(fresh())
         else:  # pragma: no cover - generator bug guard
             raise ValueError(f"unknown event kind {kind!r}")
 
-        if not root_c.same_as(root_i.rename({}, name=root_c.name)):
-            return f"step {step} ({kind}): compiled root delta != interpreter"
-        if not root_c.same_as(root_s.rename({}, name=root_c.name)):
-            return f"step {step} ({kind}): compiled root delta != sharded"
+        base = roots[primary]
+        for name, root in roots.items():
+            if name == primary:
+                continue
+            if not base.same_as(root.rename({}, name=base.name)):
+                return (
+                    f"step {step} ({kind}): {primary} root delta != {name}"
+                )
         if rec_total is not None:
-            rec_cmp = rec_total.reorder(root_c.schema, name=root_c.name)
-            if not root_c.same_as(rec_cmp):
-                return f"step {step} ({kind}): compiled root delta != recursive"
+            rec_cmp = rec_total.reorder(base.schema, name=base.name)
+            if not base.same_as(rec_cmp):
+                return f"step {step} ({kind}): {primary} root delta != recursive"
 
-    if not compiled.result().same_as(interp.result()):
-        return "final result: compiled != interpreter"
-    for name, contents in compiled.views.items():
-        if not contents.same_as(interp.views[name]):
-            return f"final view {name}: compiled != interpreter"
+    primary_engine = engines[primary]
+    for name, engine in engines.items():
+        if name == primary:
+            continue
+        if not primary_engine.result().same_as(engine.result()):
+            return f"final result: {primary} != {name}"
+        for view_name, contents in primary_engine.views.items():
+            if not contents.same_as(engine.views[view_name]):
+                return f"final view {view_name}: {primary} != {name}"
     sharded_views = sharded.merged_views()
-    for name, contents in compiled.views.items():
+    for view_name, contents in primary_engine.views.items():
         if not contents.same_as(
-            sharded_views[name].rename({}, name=contents.name)
+            sharded_views[view_name].rename({}, name=contents.name)
         ):
-            return f"final view {name}: compiled != sharded merge"
+            return f"final view {view_name}: {primary} != sharded merge"
     if recursive is not None:
         rec_result = recursive.result().reorder(
-            compiled.result().schema, name=compiled.result().name
+            primary_engine.result().schema, name=primary_engine.result().name
         )
-        if not compiled.result().same_as(rec_result):
-            return "final result: compiled != recursive IVM"
+        if not primary_engine.result().same_as(rec_result):
+            return "final result: primary != recursive IVM"
     expected = recompute(make_query("x"), db, order).reorder(
-        compiled.result().schema
+        primary_engine.result().schema
     )
-    if not compiled.result().same_as(expected):
-        return "final result: compiled != from-scratch recomputation"
+    if not primary_engine.result().same_as(expected):
+        return "final result: primary != from-scratch recomputation"
     return None
 
 

@@ -11,6 +11,7 @@ import random
 
 
 from repro.core import FIVMEngine, FactorizedUpdate, Query, VariableOrder
+from repro.core.ir import lower_factor_plan
 from repro.core.plan_exec import compile_factor_program
 from repro.core.view_tree import ViewNode
 from repro.data import Relation
@@ -124,13 +125,13 @@ class TestAggregatedMerges:
 
 
 class TestProbeCacheContract:
-    def _engine(self):
+    def _engine(self, compiled=True):
         ring = DegreeRing(2)
         lifting = Lifting(ring, {"V": ring.lift(0), "W": ring.lift(1)})
         q = Query(
             "c", COLLAPSE_SCHEMAS, free=("A",), ring=ring, lifting=lifting
         )
-        return FIVMEngine(q, collapse_order())
+        return FIVMEngine(q, collapse_order(), compiled=compiled)
 
     def test_cache_fills_on_factorized_and_invalidates_on_sibling_write(self):
         engine = self._engine()
@@ -150,8 +151,7 @@ class TestProbeCacheContract:
         ))
         assert sibling not in engine._probe_cache
         # ...and the next factorized update recomputes correctly.
-        interp = self._engine()
-        interp.compiled = False
+        interp = self._engine(compiled=False)
         seed_s(interp)
         interp.apply_factorized_update(
             rank_one_r(ring, {(7,): 1}, {(1,): 1, (2,): 1})
@@ -203,6 +203,95 @@ class TestProbeCacheContract:
         assert total.same_as(expected.rename({}, name=total.name))
 
 
+class TestPartialMatchMemo:
+    """The IR-level partial-match probe memo: a sibling bucket iterated
+    with *surviving* extends is reduced (rows pre-aggregated per surviving
+    key) and memoized per subkey, shared by every backend."""
+
+    def _make(self, compiled=True):
+        # W is free, so the merge of S(V, W) into the V-factor keeps W:
+        # extends survive and the probe compiles to the "memo" mode.
+        q = Query(
+            "pm", COLLAPSE_SCHEMAS, free=("A", "W"), ring=INT_RING
+        )
+        return FIVMEngine(q, collapse_order(), compiled=compiled)
+
+    def test_memo_mode_compiled_and_differentially_correct(self):
+        compiled = drive_alternating(self._make)
+        sources = [p.source_text for p in compiled._factor_programs.values()]
+        assert any("_rw" in src for src in sources), (
+            "expected a memoized partial-match bucket probe"
+        )
+
+    def test_memo_fills_reduces_and_invalidates(self):
+        engine = self._make()
+        ring = engine.query.ring
+        seed_s(engine)
+        # S holds (1,5):1, (1,6):2, (2,5):1 — probing V=1 must memoize the
+        # bucket reduced to its surviving extend W.
+        engine.apply_factorized_update(
+            rank_one_r(ring, {(7,): 1}, {(1,): 1})
+        )
+        sibling = engine.tree.leaves["S"].name
+        sites = engine._probe_cache[sibling]
+        rows_by_subkey = next(iter(sites.values()))
+        assert rows_by_subkey[(1,)] == (((5,), 1), ((6,), 2))
+        # A second term reuses the entry (same site dict, same subkey) and
+        # adds only the new subkey.
+        engine.apply_factorized_update(
+            rank_one_r(ring, {(8,): 1}, {(1,): 1, (2,): 1})
+        )
+        rows_by_subkey = next(iter(engine._probe_cache[sibling].values()))
+        assert set(rows_by_subkey) == {(1,), (2,)}
+        # A write to S drops the memo; results stay correct afterwards.
+        engine.apply_update(Relation(
+            "S", ("V", "W"), ring, {(1, 5): ring.from_int(3)}
+        ))
+        assert sibling not in engine._probe_cache
+        interp = self._make(compiled=False)
+        seed_s(interp)
+        interp.apply_factorized_update(rank_one_r(ring, {(7,): 1}, {(1,): 1}))
+        interp.apply_factorized_update(
+            rank_one_r(ring, {(8,): 1}, {(1,): 1, (2,): 1})
+        )
+        interp.apply_update(Relation(
+            "S", ("V", "W"), ring, {(1, 5): ring.from_int(3)}
+        ))
+        update = rank_one_r(ring, {(9,): 2}, {(1,): 1})
+        root_c = engine.apply_factorized_update(update)
+        root_i = interp.apply_factorized_update(update_copy(update, ring))
+        assert root_c.same_as(root_i.rename({}, name=root_c.name))
+        for name, contents in engine.views.items():
+            assert contents.same_as(interp.views[name]), name
+
+    def test_memo_preaggregates_duplicate_surviving_keys(self):
+        # Two S rows with the same (V, W) cannot arise in one relation, but
+        # rows differing only in dropped attributes can: give S an extra
+        # dropped column via a wider schema.
+        ring = INT_RING
+        q = Query(
+            "pm2", {"R": ("A", "V"), "S": ("U", "V", "W")},
+            free=("A", "W"), ring=ring,
+        )
+        order = VariableOrder.from_spec(("A", [("W", [("V", ["U"])])]))
+        engine = FIVMEngine(q, order)
+        engine.apply_update(Relation(
+            "S", ("U", "V", "W"), ring,
+            {(0, 1, 5): 1, (9, 1, 5): 2, (0, 1, 6): 4},
+        ))
+        engine.apply_factorized_update(rank_one_r(ring, {(7,): 1}, {(1,): 1}))
+        sibling = engine.tree.leaves["S"].name
+        caches = [
+            rows
+            for sites in engine._probe_cache.values()
+            for rows in sites.values()
+        ]
+        reduced = [rows for rows in caches if (1,) in rows]
+        assert reduced, "expected a memo keyed by the V subkey"
+        # U is dropped before W survives: the two (V=1, W=5) rows fold to 3.
+        assert dict(reduced[0][(1,)]) == {(5,): 3, (6,): 4}
+
+
 class TestPristineSiblingCollapse:
     def test_fabricated_disjoint_sibling_is_cached_whole(self):
         """A sibling sharing no attributes with the term is appended whole;
@@ -224,9 +313,11 @@ class TestPristineSiblingCollapse:
             "S", ("B",), ring,
             {(2,): ring.from_int(1), (3,): ring.from_int(2)},
         )
-        program = compile_factor_program(
-            node, ("child", 0), (("A",),), [sibling], True, query
+        ir = lower_factor_plan(
+            node, ("child", 0), (("A",),), (sibling.name,),
+            (sibling.schema,), True, query,
         )
+        program = compile_factor_program(ir, [sibling], query)
         assert "_site(_cache" in program.source_text
         assert program.out_partition == ((), ("A",)) or \
             program.out_partition == (("A",), ())

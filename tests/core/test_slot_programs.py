@@ -70,10 +70,19 @@ def drive_differentially(
     query, order, schemas, steps, rng, free_ok=True, domain=3
 ):
     """Random stream through compiled vs interpreter vs recompute."""
+    from repro.core.ir import InterpreterDeltaProgram
+    from repro.core.plan_exec import SlotProgram
+
     compiled = FIVMEngine(query, order, compiled=True)
     interpreted = FIVMEngine(query, order, compiled=False)
     assert compiled._programs, "compiled engine must hold slot programs"
-    assert not interpreted._programs
+    assert all(
+        isinstance(p, SlotProgram) for p in compiled._programs.values()
+    ), "compiled=True must realize the IR through the source backend"
+    assert interpreted._programs and all(
+        isinstance(p, InterpreterDeltaProgram)
+        for p in interpreted._programs.values()
+    ), "compiled=False must realize the IR through the interpreter backend"
     db = Database(
         Relation(rel, schema, query.ring) for rel, schema in schemas.items()
     )

@@ -1,0 +1,160 @@
+"""Edge cases for hash partitioning and secondary-index bulk maintenance.
+
+Targets the two data-layer contracts the sharding and batching layers
+lean on:
+
+* :meth:`Relation.partition` / :func:`stable_hash` must decompose any
+  relation — whatever the key values (``None`` fields, ``bytes``,
+  negative ints, empty relations) — into pairwise-disjoint fragments
+  whose ``⊎`` is the original, deterministically across processes;
+* :meth:`Relation.absorb_bulk` must leave every registered secondary
+  index (buckets *and* per-bucket sums) exactly as per-tuple
+  :meth:`Relation.add` would, including cancellation deletes and the
+  kept-but-zero cancelled sums.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sharded import stable_hash
+from repro.data import Relation
+from repro.data.schema import SchemaError
+from repro.rings import INT_RING
+
+
+def merge_fragments(fragments):
+    merged = Relation(fragments[0].name, fragments[0].schema, INT_RING)
+    for fragment in fragments:
+        merged.absorb_bulk(fragment)
+    return merged
+
+
+class TestPartitionEdgeCases:
+    AWKWARD_VALUES = [
+        None,
+        b"\x00bytes",
+        b"",
+        -1,
+        -(10**12),
+        0,
+        "",
+        "x",
+        ("nested", None),
+        frozenset({1}),
+        2.5,
+        True,
+    ]
+
+    def test_awkward_values_partition_and_merge_back(self):
+        data = {
+            (value, i): i + 1 for i, value in enumerate(self.AWKWARD_VALUES)
+        }
+        r = Relation("R", ("A", "B"), INT_RING, data)
+        for shards in (1, 2, 3, 7):
+            fragments = r.partition("A", shards, stable_hash)
+            assert len(fragments) == shards
+            # Disjoint supports...
+            seen = set()
+            for fragment in fragments:
+                keys = set(fragment.keys())
+                assert not (keys & seen)
+                seen |= keys
+            # ...whose union is the original, payload for payload.
+            assert merge_fragments(fragments).same_as(r)
+
+    def test_fragment_assignment_is_deterministic(self):
+        r = Relation(
+            "R", ("A",), INT_RING,
+            {(v,): 1 for v in self.AWKWARD_VALUES},
+        )
+        first = [set(f.keys()) for f in r.partition("A", 4, stable_hash)]
+        second = [set(f.keys()) for f in r.partition("A", 4, stable_hash)]
+        assert first == second
+
+    def test_empty_relation_partitions_to_empty_fragments(self):
+        r = Relation.empty("R", ("A", "B"), INT_RING)
+        fragments = r.partition("B", 3, stable_hash)
+        assert len(fragments) == 3
+        assert all(f.is_empty for f in fragments)
+        assert all(f.schema == r.schema for f in fragments)
+
+    def test_partition_rejects_bad_arguments(self):
+        r = Relation("R", ("A",), INT_RING, {(1,): 1})
+        with pytest.raises(SchemaError):
+            r.partition("Z", 2, stable_hash)
+        with pytest.raises(SchemaError):
+            r.partition("A", 0, stable_hash)
+
+    def test_stable_hash_handles_awkward_values(self):
+        for value in self.AWKWARD_VALUES:
+            h = stable_hash(value)
+            assert isinstance(h, int) and h >= 0
+            assert h == stable_hash(value)
+
+    def test_stable_hash_normalizes_numeric_key_equality(self):
+        # Tuple-key equality treats True == 1 == 1.0; routing must agree,
+        # and negative integral floats must follow their int twins too.
+        assert stable_hash(True) == stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(False) == stable_hash(0) == stable_hash(0.0)
+        assert stable_hash(-3.0) == stable_hash(-3)
+        assert stable_hash(-3.5) != stable_hash(-3)
+
+    def test_bytes_and_str_do_not_collide_by_repr_prefix(self):
+        # repr(b"x") == "b'x'" and repr("b'x'") shares characters; the
+        # encoded reprs must still be distinct inputs.
+        assert stable_hash(b"x") != stable_hash("x")
+
+
+def assert_indexes_consistent(relation):
+    """Every registered index must equal one freshly rebuilt from the
+    primary map: same buckets, same payloads, and bucket sums that match
+    the ring sum of the bucket (cancelled zero sums allowed only while
+    their bucket is non-empty)."""
+    ring = relation.ring
+    for attrs, (projector, buckets, sums) in relation._indexes.items():
+        rebuilt = {}
+        for key, payload in relation._data.items():
+            rebuilt.setdefault(projector(key), {})[key] = payload
+        assert {k: dict(v) for k, v in buckets.items()} == rebuilt, attrs
+        for subkey, bucket in buckets.items():
+            expected = ring.sum(bucket.values())
+            assert ring.eq(sums[subkey], expected), (attrs, subkey)
+        for subkey in sums:
+            assert subkey in buckets, f"dangling sum for {subkey} on {attrs}"
+
+
+class TestAbsorbBulkIndexConsistency:
+    def test_bulk_matches_per_tuple_adds_under_churn(self):
+        rng = random.Random(0xB1B)
+        bulk = Relation.empty("R", ("A", "B"), INT_RING)
+        single = Relation.empty("R", ("A", "B"), INT_RING)
+        for r in (bulk, single):
+            r.register_index(("A",))
+            r.register_index(("B",))
+        for _ in range(120):
+            data = {}
+            for _ in range(rng.randint(1, 6)):
+                key = (rng.randint(0, 3), rng.randint(0, 4))
+                data[key] = rng.choice([1, 2, -1, -2])
+            delta = Relation("D", ("A", "B"), INT_RING, data)
+            bulk.absorb_bulk(delta)
+            for key, payload in data.items():
+                single.add(key, payload)
+            assert bulk.same_as(single)
+            assert_indexes_consistent(bulk)
+
+    def test_cancellation_delete_keeps_sums_sound(self):
+        r = Relation("R", ("A", "B"), INT_RING, {(1, 1): 2, (1, 2): 3})
+        r.register_index(("A",))
+        # Cancel one key of the bucket: the bucket survives with a reduced
+        # (possibly zero) sum; lookups must stay consistent.
+        r.absorb_bulk(Relation("D", ("A", "B"), INT_RING, {(1, 1): -2, (1, 2): -3, (1, 3): 5}))
+        assert (1, 1) not in r and (1, 2) not in r
+        assert r.lookup_sum(("A",), (1,)) == 5
+        assert_indexes_consistent(r)
+        # Cancel the whole bucket: bucket and sum both disappear.
+        r.absorb_bulk(Relation("D", ("A", "B"), INT_RING, {(1, 3): -5}))
+        assert r.lookup_sum(("A",), (1,)) == 0
+        assert not r._indexes[("A",)][1]
+        assert not r._indexes[("A",)][2]
