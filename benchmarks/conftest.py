@@ -12,6 +12,7 @@ what these benches verify, via assertions in each test.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 from pathlib import Path
@@ -73,3 +74,16 @@ def stream_results_data(results) -> dict:
 @pytest.fixture
 def scale() -> float:
     return SCALE
+
+
+@pytest.fixture(autouse=True)
+def _collect_between_benches():
+    """Drain cyclic garbage before each timed experiment.
+
+    Columnar relations tie their payload stores, index states, and dict
+    facades into reference cycles, so a previous benchmark's engines
+    linger as cyclic garbage until a gen-2 pass — which would otherwise
+    fire (and be billed) inside a later benchmark's timed region.
+    """
+    gc.collect()
+    yield

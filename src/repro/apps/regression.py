@@ -119,6 +119,7 @@ class CofactorModel:
         db: Optional[Database] = None,
         compiled: bool = True,
         backend: Optional[str] = None,
+        storage: Optional[str] = None,
     ):
         self.query = cofactor_query(name, relations, numeric_variables, free)
         self.numeric_variables = tuple(numeric_variables)
@@ -127,7 +128,7 @@ class CofactorModel:
         }
         self.engine = FIVMEngine(
             self.query, order=order, updatable=updatable, tree=tree, db=db,
-            compiled=compiled, backend=backend,
+            compiled=compiled, backend=backend, storage=storage,
         )
 
     # ------------------------------------------------------------------

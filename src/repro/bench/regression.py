@@ -68,6 +68,9 @@ METRICS = {
     "BENCH_ablation_kernel_backend.json": [
         (("speedup",), "ratio", False),
     ],
+    "BENCH_ingest_throughput.json": [
+        (("speedup",), "ratio", False),
+    ],
 }
 
 

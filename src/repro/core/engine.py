@@ -89,6 +89,7 @@ from repro.core.plan_exec import (
 from repro.core.query import Query
 from repro.core.variable_order import VariableOrder
 from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
+from repro.data.columnar import ColumnarRelation
 from repro.data.database import Database
 from repro.data.indicator import IndicatorView
 from repro.data.relation import Relation
@@ -98,12 +99,22 @@ __all__ = [
     "check_delta",
     "check_factorized",
     "BACKENDS",
+    "STORAGES",
     "resolve_backend",
+    "resolve_storage",
 ]
 
 #: The trigger backends a :class:`FIVMEngine` can execute its delta
 #: programs with (see the module docstring).
 BACKENDS = ("interpreter", "source", "kernels")
+
+#: How materialized views store their payloads: ``"dict"`` keeps the
+#: classic ``{key: payload}`` maps, ``"columnar"`` stores packed ring
+#: blocks behind a dict-compatible facade
+#: (:class:`repro.data.columnar.ColumnarRelation`) — absorbs, index
+#: maintenance, and (under the kernels backend) the trigger programs
+#: themselves then run over arrays end-to-end.
+STORAGES = ("dict", "columnar")
 
 
 def resolve_backend(backend: Optional[str], compiled: bool) -> str:
@@ -119,6 +130,18 @@ def resolve_backend(backend: Optional[str], compiled: bool) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+def resolve_storage(storage: Optional[str]) -> str:
+    """Validate the ``storage=`` parameter (shared with the sharding
+    facade); ``None`` means the classic dict storage."""
+    if storage is None:
+        return "dict"
+    if storage not in STORAGES:
+        raise ValueError(
+            f"unknown storage {storage!r}; expected one of {STORAGES}"
+        )
+    return storage
 
 #: A delta source at a node: ("child", i) for the i-th child subtree,
 #: ("ind", i) for the i-th hosted indicator projection.
@@ -216,6 +239,7 @@ class FIVMEngine:
         group_aware: bool = True,
         compiled: bool = True,
         backend: Optional[str] = None,
+        storage: Optional[str] = None,
         program_library: Optional[ProgramLibrary] = None,
     ):
         self.query = query
@@ -250,10 +274,13 @@ class FIVMEngine:
         else:
             raise ValueError("materialize must be 'auto' or 'all'")
         self._sources = delta_sources(self.tree, self.updatable)
+        #: Payload storage for materialized views (see :data:`STORAGES`).
+        self.storage = resolve_storage(storage)
+        view_cls = ColumnarRelation if self.storage == "columnar" else Relation
         self.views: Dict[str, Relation] = {}
         for node in self.tree.nodes:
             if self.flags[node.name]:
-                self.views[node.name] = Relation(
+                self.views[node.name] = view_cls(
                     node.name, node.keys, query.ring
                 )
         # Indicator views (stateful count-based maintenance), per node.

@@ -18,6 +18,23 @@ trigger into two phases:
    keys with one grouped reduction (``np.bincount`` /
    ``np.add.reduceat``) instead of n-1 ring additions.
 
+Zero-pack gathers over columnar storage
+---------------------------------------
+
+When a probed target is a :class:`~repro.data.columnar.ColumnarRelation`
+(``FIVMEngine(storage="columnar")``), the payloads already live in packed
+blocks, so re-packing them per delta would be pure tax.  The gather for a
+columnar target is generated differently — probes walk the key → row-id
+map (or the index's group-id map) and append *row ids* instead of payload
+objects — and the kernel phase turns each row-id column into a packed
+column with one array ``take`` from the target's (or the index sum
+store's) block.  Likewise the program's *output* carries its reduced
+packed block along (:class:`_KernelDelta`), so a columnar parent view
+absorbs it and the next trigger in the propagation chain gathers from it
+without ever packing: payloads cross the whole update path as arrays.
+Programs are cached per (IR, per-target storage signature), so dict and
+columnar engines can share one library.
+
 The two phases compute exactly the scalar semantics: the product order
 within a row is the IR's reference order, and regrouping the additions is
 sound because ring addition is commutative by the ring axioms.  Rings
@@ -27,9 +44,12 @@ columns cannot pack (mixed cofactor supports) fall back to the scalar
 fold inside :meth:`KernelDeltaProgram.run`, so the backend is always
 exact, never approximate.
 
-Tiny deltas skip the array path entirely (``_MIN_VECTOR_ROWS``): below a
-handful of rows the fixed cost of packing outweighs the vectorized
-arithmetic, and the scalar fold is faster.
+Tiny deltas whose factor columns hold payload *objects* (dict-storage
+gathers) skip the array path (:data:`MIN_VECTOR_ROWS`): below a handful
+of rows the fixed cost of packing outweighs the vectorized arithmetic,
+and the scalar fold is faster.  Columns gathered as row ids from packed
+stores always vectorize — the scalar fold would have to unpack those
+rows into objects first, inverting the trade.
 
 The factorized path is not vectorized here: rank-1 term factors are tiny
 delta vectors, so the engine reuses the generated-source factor programs
@@ -49,12 +69,54 @@ from repro.core.plan_exec import (
     _Generated,
     _tuple_display,
 )
+from repro.data.columnar import ColumnarRelation
 from repro.data.relation import Relation
 
-__all__ = ["KernelDeltaProgram", "kernel_delta_program"]
+__all__ = ["KernelDeltaProgram", "kernel_delta_program", "MIN_VECTOR_ROWS"]
 
-#: Below this many gathered rows the scalar fold beats array packing.
-_MIN_VECTOR_ROWS = 8
+#: Below this many gathered rows the scalar fold beats array packing —
+#: for payload-object columns only: gathers resolved from packed stores
+#: (columnar targets, passthrough deltas) vectorize at any size.
+MIN_VECTOR_ROWS = 8
+
+#: Backwards-compatible alias (pre-columnar name).
+_MIN_VECTOR_ROWS = MIN_VECTOR_ROWS
+
+
+class _KernelDelta(Relation):
+    """A kernel program's output delta with its packed block attached.
+
+    ``_kernel_packed`` is the reduced packed column aligned with the
+    insertion order of ``_data`` — consumed by columnar absorbs and by the
+    next kernel gather in the propagation chain (zero-pack passthrough).
+    Any mutation invalidates the hint; deltas are normally read-only.
+    """
+
+    __slots__ = ("_kernel_packed",)
+
+    def __init__(self, name, schema, ring):
+        super().__init__(name, schema, ring)
+        self._kernel_packed = None
+
+    def add(self, key, payload):
+        self._kernel_packed = None
+        super().add(key, payload)
+
+    def absorb_bulk(self, delta):
+        self._kernel_packed = None
+        super().absorb_bulk(delta)
+
+    def clear(self):
+        self._kernel_packed = None
+        super().clear()
+
+
+def _storage_signature(targets) -> tuple:
+    """Per-target flag: gather row ids (packed columnar) or payloads."""
+    return tuple(
+        isinstance(target, ColumnarRelation) and target._packed
+        for target in targets
+    )
 
 
 def kernel_delta_program(
@@ -66,24 +128,56 @@ def kernel_delta_program(
     kops = query.ring.kernel_ops()
     if kops is None:
         return None
-    key = ("kernel", ir)
+    columnar = _storage_signature(targets)
+    key = ("kernel", ir, columnar)
     generated = library.lookup(key) if library is not None else None
     if generated is None:
-        generated = _generate_gather(ir)
+        generated = _generate_gather(ir, columnar)
         if library is not None:
             library.store(key, generated)
     env = _bind_env(generated, targets, query)
-    return KernelDeltaProgram(ir, query, kops, env["_gather"], generated)
+    return KernelDeltaProgram(
+        ir, query, kops, env["_gather"], generated, targets, columnar
+    )
 
 
-def _generate_gather(ir: DeltaProgram) -> _Generated:
+def _factor_specs(ir: DeltaProgram, columnar: tuple) -> list:
+    """How each factor column is resolved into a packed column at run time:
+
+    * ``("source",)`` — the delta's own payloads (packed, or taken from
+      the incoming delta's passthrough block when present);
+    * ``("payload",)`` — gathered payload objects, packed per delta;
+    * ``("row", i)`` — gathered row ids into target ``i``'s payload block;
+    * ``("gid", i, attrs)`` — gathered group ids into the sum block of
+      target ``i``'s index on ``attrs``.
+    """
+    specs = []
+    for where, i in ir.accumulate.factors:
+        if where == "source":
+            specs.append(("source",))
+            continue
+        op = ir.ops[i]
+        if not columnar[op.target]:
+            specs.append(("payload",))
+        elif op.aggregated and not op.probe_attrs:
+            specs.append(("payload",))  # hoisted total: one payload object
+        elif op.aggregated and isinstance(op, IndexProbe):
+            specs.append(("gid", op.target, op.probe_attrs))
+        else:
+            specs.append(("row", op.target))
+    return specs
+
+
+def _generate_gather(ir: DeltaProgram, columnar: tuple) -> _Generated:
     """Generate the gather loop: the source backend's probe walk with the
     innermost arithmetic replaced by column appends.
 
     The generated function takes the delta items plus one bound
     ``list.append`` per column — the output key column first, then one
     column per payload factor, then one per lifting input — so the hot
-    loop carries no attribute lookups.
+    loop carries no attribute lookups.  Probes against columnar targets
+    walk the row-id maps and append row/group ids (see the module
+    docstring); the kernel phase resolves them with array takes.
     """
     kind, idx = ir.source
     ops = ir.ops
@@ -103,9 +197,16 @@ def _generate_gather(ir: DeltaProgram) -> _Generated:
         lines.append("    " * depth + text)
 
     for i, op in enumerate(ops):
-        requests.append((f"_data{i}", ("data", op.target)))
+        if columnar[op.target]:
+            requests.append((f"_rows{i}", ("rows", op.target)))
+        else:
+            requests.append((f"_data{i}", ("data", op.target)))
         if op.aggregated and not op.probe_attrs:
-            emit(1, f"_t{i} = _rsum(_data{i}.values())")
+            if columnar[op.target]:
+                requests.append((f"_tot{i}", ("total", op.target)))
+                emit(1, f"_t{i} = _tot{i}()")
+            else:
+                emit(1, f"_t{i} = _rsum(_data{i}.values())")
             emit(1, f"if _iszero(_t{i}):")
             emit(2, "return")
 
@@ -117,16 +218,30 @@ def _generate_gather(ir: DeltaProgram) -> _Generated:
     op_pay = {}
     for i, op in enumerate(ops):
         probe = op.probe_attrs
+        col = columnar[op.target]
         if isinstance(op, IndexProbe):
-            requests.append((f"_bkt{i}", ("buckets", op.target, probe)))
-            requests.append((f"_sum{i}", ("sums", op.target, probe)))
+            if col:
+                requests.append((f"_gid{i}", ("gids", op.target, probe)))
+                requests.append((f"_mem{i}", ("members", op.target, probe)))
+                requests.append((f"_ix{i}", ("idxstate", op.target, probe)))
+            else:
+                requests.append((f"_bkt{i}", ("buckets", op.target, probe)))
+                requests.append((f"_sum{i}", ("sums", op.target, probe)))
         probe_key = _tuple_display([rname(r) for r in op.probe_regs])
         if op.aggregated:
             if not probe:
                 pass  # hoisted; payload is _t{i}
             elif isinstance(op, Probe):
-                emit(depth, f"_t{i} = _data{i}.get({probe_key})")
+                source = f"_rows{i}" if col else f"_data{i}"
+                emit(depth, f"_t{i} = {source}.get({probe_key})")
                 emit(depth, f"if _t{i} is not None:")
+                depth += 1
+            elif col:
+                emit(depth, f"_t{i} = _gid{i}.get({probe_key})")
+                emit(
+                    depth,
+                    f"if _t{i} is not None and not _ix{i}.szero[_t{i}]:",
+                )
                 depth += 1
             else:
                 emit(depth, f"_t{i} = _sum{i}.get({probe_key})")
@@ -134,15 +249,17 @@ def _generate_gather(ir: DeltaProgram) -> _Generated:
                 depth += 1
             op_pay[i] = f"_t{i}"
         else:
+            source = f"_rows{i}" if col else f"_data{i}"
             if isinstance(op, Probe) and probe:
-                emit(depth, f"_p{i} = _data{i}.get({probe_key})")
+                emit(depth, f"_p{i} = {source}.get({probe_key})")
                 emit(depth, f"if _p{i} is not None:")
                 depth += 1
             elif isinstance(op, Probe):
-                emit(depth, f"for _k{i}, _p{i} in _data{i}.items():")
+                emit(depth, f"for _k{i}, _p{i} in {source}.items():")
                 depth += 1
             else:
-                emit(depth, f"_b{i} = _bkt{i}.get({probe_key})")
+                bucket_map = f"_mem{i}" if col else f"_bkt{i}"
+                emit(depth, f"_b{i} = {bucket_map}.get({probe_key})")
                 emit(depth, f"if _b{i}:")
                 depth += 1
                 emit(depth, f"for _k{i}, _p{i} in _b{i}.items():")
@@ -172,10 +289,10 @@ class KernelDeltaProgram:
 
     __slots__ = (
         "node_name", "out_schema", "ring", "_kops", "_gather", "_lift_fns",
-        "_n_factors", "source_text",
+        "_n_factors", "source_text", "_specs", "_stores", "_any_store",
     )
 
-    def __init__(self, ir: DeltaProgram, query, kops, gather, generated):
+    def __init__(self, ir, query, kops, gather, generated, targets, columnar):
         self.node_name = ir.node_name
         self.out_schema = ir.out_schema
         self.ring = query.ring
@@ -186,9 +303,41 @@ class KernelDeltaProgram:
         self._lift_fns = [lift_table[var] for var, _ in ir.accumulate.lifts]
         #: The generated gather source (debugging and the test suite).
         self.source_text = generated.source_text
+        self._specs = _factor_specs(ir, columnar)
+        #: Per-factor payload store for row/gid columns (binding the store
+        #: object is safe: stores are identity-stable across compaction).
+        stores = []
+        for spec in self._specs:
+            if spec[0] == "row":
+                stores.append(targets[spec[1]]._store)
+            elif spec[0] == "gid":
+                stores.append(targets[spec[1]]._states[spec[2]].sums)
+            else:
+                stores.append(None)
+        self._stores = stores
+        #: Whether any factor column resolves from a packed store.  The
+        #: scalar fold would have to *unpack* those rows into payload
+        #: objects first, so the :data:`MIN_VECTOR_ROWS` cutoff only pays
+        #: on payload-object columns — packed gathers always vectorize.
+        self._any_store = any(store is not None for store in stores)
+
+    def _materialize(self, factor_cols, delta_packed):
+        """Resolve row/gid columns to payload objects (scalar fallback)."""
+        kops = self._kops
+        out_cols = []
+        for spec, store, col in zip(self._specs, self._stores, factor_cols):
+            if store is not None:
+                rows = np.array(col, dtype=np.intp)
+                out_cols.append(kops.unpack(store.take(rows)))
+            elif spec[0] == "source" and delta_packed is not None:
+                rows = np.array(col, dtype=np.intp)
+                out_cols.append(kops.unpack(kops.take(delta_packed, rows)))
+            else:
+                out_cols.append(col)
+        return out_cols
 
     def _finish_scalar(self, keys, factor_cols, lift_cols, out):
-        """The exact scalar fold (used under ``_MIN_VECTOR_ROWS`` and when
+        """The exact scalar fold (used under ``MIN_VECTOR_ROWS`` and when
         a column cannot pack): row-wise reference-order products, per-key
         contribution lists, one ``ring.sum`` per key, zeros dropped."""
         ring = self.ring
@@ -224,25 +373,67 @@ class KernelDeltaProgram:
 
     def run(self, delta: Relation) -> Relation:
         ring = self.ring
-        out = Relation(self.node_name, self.out_schema, ring)
+        out = _KernelDelta(self.node_name, self.out_schema, ring)
         keys: List[tuple] = []
         factor_cols: List[list] = [[] for _ in range(self._n_factors)]
         lift_cols: List[list] = [[] for _ in range(len(self._lift_fns))]
         appends = [keys.append]
         appends += [col.append for col in factor_cols]
         appends += [col.append for col in lift_cols]
-        self._gather(delta._data.items(), *appends)
+        delta_packed = getattr(delta, "_kernel_packed", None)
+        if delta_packed is not None:
+            # Zero-pack passthrough: feed row indices as the source
+            # "payloads" and take them from the attached block below.
+            items = zip(delta._data.keys(), range(len(delta._data)))
+        else:
+            items = delta._data.items()
+        self._gather(items, *appends)
         n = len(keys)
         if n == 0:
             return out
-        if n < _MIN_VECTOR_ROWS:
-            return self._finish_scalar(keys, factor_cols, lift_cols, out)
+        if (
+            n < MIN_VECTOR_ROWS
+            and not self._any_store
+            and delta_packed is None
+        ):
+            return self._finish_scalar(
+                keys,
+                self._materialize(factor_cols, delta_packed),
+                lift_cols,
+                out,
+            )
         kops = self._kops
-        packed = kops.combine(
-            n, factor_cols, list(zip(self._lift_fns, lift_cols))
-        )
-        if packed is None:  # unpackable batch: exact scalar fallback
-            return self._finish_scalar(keys, factor_cols, lift_cols, out)
+        packed = None
+        for spec, store, col in zip(self._specs, self._stores, factor_cols):
+            if store is not None:
+                p = store.take(np.array(col, dtype=np.intp))
+            elif spec[0] == "source" and delta_packed is not None:
+                p = kops.take(delta_packed, np.array(col, dtype=np.intp))
+            else:
+                p = kops.pack(col, n)
+                if p is None:  # unpackable batch: exact scalar fallback
+                    return self._finish_scalar(
+                        keys,
+                        self._materialize(factor_cols, delta_packed),
+                        lift_cols,
+                        out,
+                    )
+            packed = p if packed is None else kops.mul_packed(packed, p, n)
+        pack_lift = getattr(kops, "pack_lift", None)
+        for lift, col in zip(self._lift_fns, lift_cols):
+            p = pack_lift(lift, col, n) if pack_lift is not None else None
+            if p is None:
+                p = kops.pack([lift(value) for value in col], n)
+            if p is None:  # pragma: no cover - lifts share one layout
+                return self._finish_scalar(
+                    keys,
+                    self._materialize(factor_cols, delta_packed),
+                    lift_cols,
+                    out,
+                )
+            packed = p if packed is None else kops.mul_packed(packed, p, n)
+        if packed is None:
+            packed = kops.identity(n)
         # Group rows by output key (ids assigned first-seen, so every id in
         # range(n_groups) occurs — the reduce hooks rely on that).
         group_of: dict = {}
@@ -256,10 +447,14 @@ class KernelDeltaProgram:
                 unique_keys.append(key)
             group_ids[row] = gid
         reduced = kops.reduce(packed, group_ids, len(unique_keys))
+        zero = kops.zero_mask(reduced)
+        if zero.any():
+            kept = np.flatnonzero(~zero)
+            reduced = kops.take(reduced, kept)
+            unique_keys = [unique_keys[i] for i in kept.tolist()]
         payloads = kops.unpack(reduced)
-        is_zero = ring.is_zero
         data = out._data
         for key, payload in zip(unique_keys, payloads):
-            if not is_zero(payload):
-                data[key] = payload
+            data[key] = payload
+        out._kernel_packed = reduced if unique_keys else None
         return out

@@ -141,7 +141,16 @@ class _Generated:
       dicts of target ``i``'s secondary index on ``attrs`` (registered at
       bind time when missing);
     * ``("lift", var)`` — the query's lifting function for ``var``;
-    * ``("sentinel",)`` — a fresh per-binding cache-site identity.
+    * ``("sentinel",)`` — a fresh per-binding cache-site identity;
+    * columnar-target requests (kernel gathers over
+      :class:`repro.data.columnar.ColumnarRelation` targets, which probe
+      row ids instead of payloads): ``("rows", i)`` — the key → row-id
+      map; ``("gids", i, attrs)`` / ``("members", i, attrs)`` /
+      ``("idxstate", i, attrs)`` — the subkey → group-id map, the subkey
+      → ``{key: row}`` buckets, and the index state object (for its
+      maintained ``szero`` zero-mask) of target ``i``'s index on
+      ``attrs``; ``("total", i)`` — the target's memoized vectorized
+      ``total`` bound method.
 
     ``meta`` carries the program-class payload (the output schema for slot
     programs, the outgoing factor partition for factor programs).
@@ -214,6 +223,19 @@ def _bind_env(generated: _Generated, targets, query) -> dict:
             env[name] = lift_table[spec[1]]
         elif kind == "sentinel":
             env[name] = object()
+        elif kind == "rows":
+            env[name] = targets[spec[1]]._rows
+        elif kind == "total":
+            env[name] = targets[spec[1]].total
+        elif kind in ("gids", "members", "idxstate"):
+            target = targets[spec[1]]
+            target.register_index(spec[2])
+            state = target._states[spec[2]]
+            env[name] = (
+                state.gids if kind == "gids"
+                else state.members if kind == "members"
+                else state
+            )
         else:  # pragma: no cover - generator/binder contract guard
             raise ValueError(f"unknown environment request {spec!r}")
     exec(generated.code, env)

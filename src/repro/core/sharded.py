@@ -56,6 +56,7 @@ from repro.core.engine import (
     check_delta,
     check_factorized,
     resolve_backend,
+    resolve_storage,
 )
 from repro.core.factorized_update import FactorizedUpdate, decompose
 from repro.core.materialization import materialization_flags
@@ -95,8 +96,15 @@ def stable_hash(value) -> int:
 # ----------------------------------------------------------------------
 
 
+def _plain_data(data) -> dict:
+    """Materialize a relation's primary map as a plain dict (columnar
+    relations expose a facade; the wire format and cross-shard merges
+    want real dicts)."""
+    return data if isinstance(data, dict) else dict(data)
+
+
 def _pack_relation(relation: Relation) -> tuple:
-    return (relation.name, relation.schema, relation._data)
+    return (relation.name, relation.schema, _plain_data(relation._data))
 
 
 def _unpack_relation(packed: tuple, ring) -> Relation:
@@ -182,9 +190,12 @@ def _dispatch(engine: FIVMEngine, request: tuple):
         engine.initialize(Database(rel for rel in request[1]))
         return None
     if kind == "view":
-        return engine.views[request[1]]._data
+        return _plain_data(engine.views[request[1]]._data)
     if kind == "views":
-        return {name: view._data for name, view in engine.views.items()}
+        return {
+            name: _plain_data(view._data)
+            for name, view in engine.views.items()
+        }
     if kind == "sizes":
         return engine.view_sizes()
     if kind == "scalars":
@@ -344,6 +355,10 @@ class ShardedFIVMEngine:
         Trigger backend inherited unchanged by every shard engine
         (``"interpreter"``, ``"source"``, or ``"kernels"``; overrides the
         legacy ``compiled`` flag — see :class:`FIVMEngine`).
+    storage:
+        View storage engine inherited by every shard engine (``"dict"``
+        or ``"columnar"`` — see :class:`FIVMEngine`).  Partitioned
+        deltas cross the wire as plain dicts either way.
     hasher:
         Value-level hash used for routing; must be deterministic across
         processes (default :func:`stable_hash`).
@@ -363,6 +378,7 @@ class ShardedFIVMEngine:
         group_aware: bool = True,
         compiled: bool = True,
         backend: Optional[str] = None,
+        storage: Optional[str] = None,
         hasher: Callable[[object], int] = stable_hash,
     ):
         if shards < 1:
@@ -435,6 +451,7 @@ class ShardedFIVMEngine:
                 group_aware=group_aware,
                 compiled=compiled,
                 backend=backend,
+                storage=storage,
                 program_library=library,
             )
 
@@ -443,6 +460,9 @@ class ShardedFIVMEngine:
         #: Resolved (and validated) here, before any worker forks, through
         #: the same helper the shard engines themselves use.
         self.backend = resolve_backend(backend, compiled)
+        #: Per-shard view storage ("dict" or "columnar"), validated up
+        #: front like the backend; the coordinator itself holds no views.
+        self.storage = resolve_storage(storage)
 
         factories = [factory] * self.shards
         if executor == "inline":

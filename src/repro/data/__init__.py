@@ -1,5 +1,6 @@
 """Data model: relations over rings, databases, indicator views."""
 
+from repro.data.columnar import ColumnarRelation
 from repro.data.database import Database
 from repro.data.indicator import IndicatorView
 from repro.data.relation import Relation
@@ -7,6 +8,7 @@ from repro.data.schema import SchemaError, as_schema, merge_schemas
 
 __all__ = [
     "Relation",
+    "ColumnarRelation",
     "Database",
     "IndicatorView",
     "SchemaError",

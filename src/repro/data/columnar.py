@@ -1,0 +1,841 @@
+"""Array-native relations: columnar storage behind the Relation interface.
+
+A :class:`ColumnarRelation` stores its payloads in packed ring blocks
+(structure-of-arrays, via the ring's ``kernel_ops`` store hooks) instead of
+a ``{key: payload}`` dict:
+
+* ``_rows`` maps each key to its row id, ``_keys`` maps rows back;
+* the payload column lives in one preallocated block per ring layout,
+  grown by doubling and compacted in place when enough rows die;
+* ``absorb_bulk`` is a hash split (hits vs new keys) followed by a handful
+  of vectorized block operations — take, add, zero-mask, put, append —
+  instead of per-key dict writes and ring calls;
+* secondary indexes keep their per-subkey ring sums in a packed block of
+  their own, maintained as grouped scatter-adds (one ``np.add.at`` sweep
+  per absorbed batch) with a vectorized zero-mask for group-aware probes;
+* ``partition`` hashes each *distinct* attribute value once and moves
+  payloads shard-by-shard with array takes.
+
+Rings without kernel ops (matrices, booleans, …) fall back to an object
+column with identical semantics, so every ring works columnar.
+
+Dict compatibility: ``relation._data`` and the registered index entries
+are facade objects speaking the mapping protocol, so the interpreter
+backend, the generated-source backend, and existing tests keep working
+unchanged.  The kernel backend bypasses the facades entirely and reads
+``_rows`` / the payload blocks directly (see :mod:`repro.core.kernels`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.schema import SchemaError, as_schema, key_projector
+
+__all__ = ["ColumnarRelation"]
+
+Key = Tuple[Any, ...]
+
+
+def _index_list(rows):
+    return rows.tolist() if isinstance(rows, np.ndarray) else list(rows)
+
+
+class _ObjectOps:
+    """Object-column fallback for rings without kernel ops.
+
+    Implements the same packed-column protocol with a Python list as the
+    block, so :class:`ColumnarRelation` runs one code path for every ring.
+    """
+
+    __slots__ = ("ring",)
+
+    def __init__(self, ring):
+        self.ring = ring
+
+    def pack(self, column, n):
+        return list(column)
+
+    def payload_layout(self, payload):
+        return ()
+
+    def unpack(self, packed):
+        return list(packed)
+
+    def add_packed(self, a, b):
+        radd = self.ring.add
+        return [radd(x, y) for x, y in zip(a, b)]
+
+    def neg_packed(self, a):
+        rneg = self.ring.neg
+        return [rneg(x) for x in a]
+
+    def zero_mask(self, packed):
+        rzero = self.ring.is_zero
+        return np.fromiter(
+            (rzero(p) for p in packed), dtype=bool, count=len(packed)
+        )
+
+    def reduce(self, packed, group_ids, n_groups):
+        groups = [[] for _ in range(n_groups)]
+        for gid, payload in zip(_index_list(group_ids), packed):
+            groups[gid].append(payload)
+        rsum = self.ring.sum
+        return [rsum(group) for group in groups]
+
+    def alloc(self, cap, layout=()):
+        return [None] * cap
+
+    def grow(self, block, used, cap):
+        return block + [None] * (cap - len(block))
+
+    def take(self, block, rows):
+        return [block[i] for i in _index_list(rows)]
+
+    def put(self, block, rows, packed):
+        for i, payload in zip(_index_list(rows), packed):
+            block[i] = payload
+        return block
+
+    def add_at(self, block, rows, packed):
+        radd = self.ring.add
+        for i, payload in zip(_index_list(rows), packed):
+            current = block[i]
+            block[i] = payload if current is None else radd(current, payload)
+        return block
+
+    def zero_rows(self, block, rows):
+        zero = self.ring.zero
+        for i in _index_list(rows):
+            block[i] = zero
+        return block
+
+
+class _PayloadStore:
+    """A growable packed block of ring payloads (rows addressed by id)."""
+
+    __slots__ = ("ops", "block", "cap", "used")
+
+    def __init__(self, ops):
+        self.ops = ops
+        self.block = ops.alloc(0)
+        self.cap = 0
+        self.used = 0
+
+    def ensure(self, extra: int) -> None:
+        need = self.used + extra
+        if need <= self.cap:
+            return
+        cap = max(16, self.cap * 2)
+        while cap < need:
+            cap *= 2
+        self.block = self.ops.grow(self.block, self.used, cap)
+        self.cap = cap
+
+    def append(self, packed, count: int):
+        self.ensure(count)
+        rows = np.arange(self.used, self.used + count, dtype=np.intp)
+        self.block = self.ops.put(self.block, rows, packed)
+        self.used += count
+        return rows
+
+    def take(self, rows):
+        return self.ops.take(self.block, rows)
+
+    def put(self, rows, packed) -> None:
+        self.block = self.ops.put(self.block, rows, packed)
+
+    def add_at(self, rows, packed) -> None:
+        self.block = self.ops.add_at(self.block, rows, packed)
+
+    def zero_rows(self, rows) -> None:
+        self.block = self.ops.zero_rows(self.block, rows)
+
+    def payload(self, row: int):
+        return self.ops.unpack(
+            self.ops.take(self.block, np.array([row], dtype=np.intp))
+        )[0]
+
+    def reset(self) -> None:
+        self.used = 0
+
+
+class _IndexState:
+    """One secondary index: subkey → group id, member rows, packed sums.
+
+    ``members`` maps each subkey to ``{key: row}`` (pruned on kill exactly
+    like the dict index's buckets, so emptiness and iteration agree), and
+    the per-subkey ring sums live in a packed store addressed by group id
+    with ``szero`` as the maintained zero-mask — the group-aware probe of
+    the kernel backend reads ``gids``/``szero`` directly.
+    """
+
+    __slots__ = (
+        "relation", "attrs", "projector", "gids", "members", "sums",
+        "szero", "free",
+    )
+
+    def __init__(self, relation: "ColumnarRelation", attrs, projector):
+        self.relation = relation
+        self.attrs = attrs
+        self.projector = projector
+        self.gids: dict = {}
+        self.members: dict = {}
+        self.sums = _PayloadStore(relation._ops)
+        self.szero = np.zeros(0, dtype=bool)
+        self.free: list = []
+
+    def _sync_szero(self) -> None:
+        if self.sums.cap > len(self.szero):
+            grown = np.zeros(self.sums.cap, dtype=bool)
+            grown[: len(self.szero)] = self.szero
+            self.szero = grown
+
+    def alloc_gid(self, subkey) -> int:
+        if self.free:
+            gid = self.free.pop()
+        else:
+            self.sums.ensure(1)
+            gid = self.sums.used
+            self.sums.used += 1
+        self.sums.zero_rows(np.array([gid], dtype=np.intp))
+        self._sync_szero()
+        self.gids[subkey] = gid
+        return gid
+
+    def rebuild(self) -> None:
+        """Build the index from the live rows in one grouped sweep."""
+        self.gids.clear()
+        self.members.clear()
+        self.free.clear()
+        self.sums.reset()
+        relation = self.relation
+        n = len(relation._rows)
+        if not n:
+            return
+        projector = self.projector
+        gids = self.gids
+        members = self.members
+        group_ids = np.empty(n, dtype=np.intp)
+        rows = np.empty(n, dtype=np.intp)
+        for i, (key, row) in enumerate(relation._rows.items()):
+            subkey = projector(key)
+            gid = gids.get(subkey)
+            if gid is None:
+                gid = len(gids)
+                gids[subkey] = gid
+                members[subkey] = {key: row}
+            else:
+                members[subkey][key] = row
+            group_ids[i] = gid
+            rows[i] = row
+        ops = relation._ops
+        n_groups = len(gids)
+        reduced = ops.reduce(relation._store.take(rows), group_ids, n_groups)
+        self.sums.ensure(n_groups)
+        self.sums.put(np.arange(n_groups, dtype=np.intp), reduced)
+        self.sums.used = n_groups
+        self._sync_szero()
+        self.szero[:n_groups] = ops.zero_mask(reduced)
+
+    def apply(
+        self, kill_keys, kill_rows, negpre, surv_keys, d_surv,
+        new_keys, new_rows, d_new,
+    ) -> None:
+        """Replay one absorbed batch: kills, surviving hits, then news."""
+        ops = self.relation._ops
+        projector = self.projector
+        gids = self.gids
+        members = self.members
+        touched = []
+        if kill_keys:
+            kept_pos = []
+            kept_gid = []
+            for j, key in enumerate(kill_keys):
+                subkey = projector(key)
+                bucket = members.get(subkey)
+                if bucket is not None:
+                    bucket.pop(key, None)
+                    if not bucket:
+                        del members[subkey]
+                        gid = gids.pop(subkey, None)
+                        if gid is not None:
+                            self.free.append(gid)
+                        continue
+                gid = gids.get(subkey)
+                if gid is not None:
+                    # Bucket still non-empty: keep the (possibly zero)
+                    # cancelled sum, exactly like the dict index.
+                    kept_pos.append(j)
+                    kept_gid.append(gid)
+            if kept_pos:
+                rows = np.array(kept_gid, dtype=np.intp)
+                values = ops.take(negpre, np.array(kept_pos, dtype=np.intp))
+                self.sums.add_at(rows, values)
+                touched.append(rows)
+        if surv_keys:
+            rows = np.empty(len(surv_keys), dtype=np.intp)
+            for j, key in enumerate(surv_keys):
+                rows[j] = gids[projector(key)]
+            self.sums.add_at(rows, d_surv)
+            touched.append(rows)
+        if new_keys:
+            rows = np.empty(len(new_keys), dtype=np.intp)
+            for j, (key, row) in enumerate(zip(new_keys, _index_list(new_rows))):
+                subkey = projector(key)
+                gid = gids.get(subkey)
+                if gid is None:
+                    gid = self.alloc_gid(subkey)
+                    members[subkey] = {key: row}
+                else:
+                    members[subkey][key] = row
+                rows[j] = gid
+            self.sums.add_at(rows, d_new)
+            touched.append(rows)
+        if touched:
+            gids_touched = np.unique(np.concatenate(touched))
+            self.szero[gids_touched] = ops.zero_mask(
+                self.sums.take(gids_touched)
+            )
+
+    def sum_payload(self, gid: int):
+        return self.sums.payload(gid)
+
+    def clear(self) -> None:
+        self.gids.clear()
+        self.members.clear()
+        self.free.clear()
+        self.sums.reset()
+
+
+class _DataFacade:
+    """Mapping view over a columnar relation's live rows (dict-shaped)."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: "ColumnarRelation"):
+        self.relation = relation
+
+    def __len__(self):
+        return len(self.relation._rows)
+
+    def __bool__(self):
+        return bool(self.relation._rows)
+
+    def __iter__(self):
+        return iter(self.relation._rows)
+
+    def __contains__(self, key):
+        return key in self.relation._rows
+
+    def keys(self):
+        return self.relation._rows.keys()
+
+    def __getitem__(self, key):
+        row = self.relation._rows.get(key)
+        if row is None:
+            raise KeyError(key)
+        return self.relation._store.payload(row)
+
+    def get(self, key, default=None):
+        row = self.relation._rows.get(key)
+        if row is None:
+            return default
+        return self.relation._store.payload(row)
+
+    def items(self):
+        relation = self.relation
+        rows = relation._rows
+        if not rows:
+            return
+        order = np.fromiter(rows.values(), dtype=np.intp, count=len(rows))
+        payloads = relation._ops.unpack(relation._store.take(order))
+        yield from zip(rows.keys(), payloads)
+
+    def values(self):
+        for _, payload in self.items():
+            yield payload
+
+
+class _BucketView:
+    """One index bucket (subkey's entries) as a read-only mapping."""
+
+    __slots__ = ("state", "bucket")
+
+    def __init__(self, state: _IndexState, bucket: dict):
+        self.state = state
+        self.bucket = bucket
+
+    def __len__(self):
+        return len(self.bucket)
+
+    def __bool__(self):
+        return bool(self.bucket)
+
+    def __iter__(self):
+        return iter(self.bucket)
+
+    def __contains__(self, key):
+        return key in self.bucket
+
+    def keys(self):
+        return self.bucket.keys()
+
+    def __getitem__(self, key):
+        return self.state.relation._store.payload(self.bucket[key])
+
+    def get(self, key, default=None):
+        row = self.bucket.get(key)
+        if row is None:
+            return default
+        return self.state.relation._store.payload(row)
+
+    def items(self):
+        store = self.state.relation._store
+        for key, row in self.bucket.items():
+            yield key, store.payload(row)
+
+    def values(self):
+        store = self.state.relation._store
+        for row in self.bucket.values():
+            yield store.payload(row)
+
+
+class _BucketsFacade:
+    """subkey → bucket mapping facade over an index state."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: _IndexState):
+        self.state = state
+
+    def __len__(self):
+        return len(self.state.members)
+
+    def __bool__(self):
+        return bool(self.state.members)
+
+    def __iter__(self):
+        return iter(self.state.members)
+
+    def __contains__(self, subkey):
+        return subkey in self.state.members
+
+    def keys(self):
+        return self.state.members.keys()
+
+    def __getitem__(self, subkey):
+        return _BucketView(self.state, self.state.members[subkey])
+
+    def get(self, subkey, default=None):
+        bucket = self.state.members.get(subkey)
+        if bucket is None:
+            return default
+        return _BucketView(self.state, bucket)
+
+    def items(self):
+        state = self.state
+        for subkey, bucket in state.members.items():
+            yield subkey, _BucketView(state, bucket)
+
+    def values(self):
+        state = self.state
+        for bucket in state.members.values():
+            yield _BucketView(state, bucket)
+
+
+class _SumsFacade:
+    """subkey → ring sum mapping facade over an index state."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: _IndexState):
+        self.state = state
+
+    def __len__(self):
+        return len(self.state.gids)
+
+    def __bool__(self):
+        return bool(self.state.gids)
+
+    def __iter__(self):
+        return iter(self.state.gids)
+
+    def __contains__(self, subkey):
+        return subkey in self.state.gids
+
+    def keys(self):
+        return self.state.gids.keys()
+
+    def __getitem__(self, subkey):
+        return self.state.sum_payload(self.state.gids[subkey])
+
+    def get(self, subkey, default=None):
+        gid = self.state.gids.get(subkey)
+        if gid is None:
+            return default
+        return self.state.sum_payload(gid)
+
+    def items(self):
+        state = self.state
+        for subkey, gid in state.gids.items():
+            yield subkey, state.sum_payload(gid)
+
+    def values(self):
+        state = self.state
+        for gid in state.gids.values():
+            yield state.sum_payload(gid)
+
+
+_NO_TOTAL = object()
+
+
+class ColumnarRelation(Relation):
+    """A :class:`Relation` whose payloads live in packed ring blocks."""
+
+    __slots__ = (
+        "_rows", "_keys", "_store", "_ops", "_packed", "_states",
+        "_dead", "_facade", "_total_cache",
+    )
+
+    #: Compact once this many rows are dead (and they outnumber the live).
+    COMPACT_MIN_DEAD = 64
+
+    def __init__(
+        self,
+        name: str,
+        schema: Iterable[str],
+        ring,
+        data: Optional[Mapping[Key, Any]] = None,
+    ):
+        self.name = name
+        self.schema = as_schema(schema)
+        self.ring = ring
+        ops = ring.kernel_ops()
+        required = ("pack", "take", "put", "add_at", "add_packed", "zero_mask")
+        if ops is None or not all(hasattr(ops, hook) for hook in required):
+            ops = _ObjectOps(ring)
+            self._packed = False
+        else:
+            self._packed = True
+        self._ops = ops
+        self._rows: dict = {}
+        self._keys: list = []
+        self._store = _PayloadStore(ops)
+        self._states: dict = {}
+        self._indexes = {}
+        self._dead = 0
+        self._facade = _DataFacade(self)
+        self._total_cache = _NO_TOTAL
+        if data:
+            width = len(self.schema)
+            stage = Relation(name, self.schema, ring)
+            for key, payload in data.items():
+                key = tuple(key)
+                if len(key) != width:
+                    raise SchemaError(
+                        f"key {key} does not match schema {self.schema}"
+                    )
+                if not ring.is_zero(payload):
+                    stage._data[key] = payload
+            self.absorb_bulk(stage)
+
+    @property
+    def _data(self):
+        return self._facade
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "ColumnarRelation":
+        out = ColumnarRelation(name or self.name, self.schema, self.ring)
+        if self._rows:
+            rows = np.fromiter(
+                self._rows.values(), dtype=np.intp, count=len(self._rows)
+            )
+            out._bulk_load(list(self._rows.keys()), self._store.take(rows))
+        return out
+
+    def _bulk_load(self, keys: list, packed) -> None:
+        """Load fresh (disjoint, non-zero) keys with their packed column."""
+        rows = self._store.append(packed, len(keys))
+        self._keys.extend(keys)
+        self._rows.update(zip(keys, rows.tolist()))
+        self._total_cache = _NO_TOTAL
+
+    # ------------------------------------------------------------------
+    # Lookup and mutation
+    # ------------------------------------------------------------------
+
+    def _payload_at(self, row: int):
+        return self._store.payload(row)
+
+    def add(self, key: Key, payload) -> None:
+        if self.ring.is_zero(payload):
+            return
+        delta = Relation(self.name, self.schema, self.ring)
+        delta._data[tuple(key)] = payload
+        self.absorb_bulk(delta)
+
+    def register_index(self, attrs: Sequence[str]) -> None:
+        attrs = tuple(attrs)
+        if attrs == self.schema or attrs in self._states:
+            return
+        projector = key_projector(self.schema, attrs)
+        state = _IndexState(self, attrs, projector)
+        state.rebuild()
+        self._states[attrs] = state
+        self._indexes[attrs] = (
+            projector, _BucketsFacade(state), _SumsFacade(state)
+        )
+
+    def lookup(self, attrs: Tuple[str, ...], subkey: tuple):
+        if attrs == self.schema:
+            row = self._rows.get(subkey)
+            return ((subkey, self._payload_at(row)),) if row is not None else ()
+        if not attrs:
+            return self._data.items()
+        state = self._states.get(attrs)
+        if state is None:
+            raise KeyError(f"relation {self.name!r} has no index on {attrs}")
+        bucket = state.members.get(subkey)
+        if not bucket:
+            return ()
+        store = self._store
+        return [(key, store.payload(row)) for key, row in bucket.items()]
+
+    def lookup_sum(self, attrs: Tuple[str, ...], subkey: tuple):
+        if attrs == self.schema:
+            row = self._rows.get(subkey)
+            return self._payload_at(row) if row is not None else self.ring.zero
+        if not attrs:
+            return self.total()
+        state = self._states.get(attrs)
+        if state is None:
+            raise KeyError(f"relation {self.name!r} has no index on {attrs}")
+        gid = state.gids.get(subkey)
+        return state.sum_payload(gid) if gid is not None else self.ring.zero
+
+    def total(self):
+        """Vectorized full aggregate, memoized until the next mutation."""
+        cached = self._total_cache
+        if cached is not _NO_TOTAL:
+            return cached
+        n = len(self._rows)
+        if not n:
+            total = self.ring.zero
+        else:
+            rows = np.fromiter(self._rows.values(), dtype=np.intp, count=n)
+            ops = self._ops
+            reduced = ops.reduce(
+                self._store.take(rows), np.zeros(n, dtype=np.intp), 1
+            )
+            total = ops.unpack(reduced)[0]
+        self._total_cache = total
+        return total
+
+    # ------------------------------------------------------------------
+    # Bulk union (the vectorized hot path)
+    # ------------------------------------------------------------------
+
+    def _delta_parts(self, delta: Relation):
+        """Split a delta into (keys, packed column or None, payload list)."""
+        if self._packed:
+            packed = getattr(delta, "_kernel_packed", None)
+            if packed is not None and delta.ring is self.ring:
+                return list(delta._data.keys()), packed, None
+            if (
+                isinstance(delta, ColumnarRelation)
+                and delta._packed
+                and delta.ring is self.ring
+                and delta._rows
+            ):
+                rows = np.fromiter(
+                    delta._rows.values(), dtype=np.intp, count=len(delta._rows)
+                )
+                return list(delta._rows.keys()), delta._store.take(rows), None
+        keys = []
+        payloads = []
+        for key, payload in delta._data.items():
+            keys.append(key)
+            payloads.append(payload)
+        return keys, None, payloads
+
+    def _absorb_scalar(self, keys, payloads) -> None:
+        """Per-key fallback for layout-mixed (unpackable) deltas."""
+        for key, payload in zip(keys, payloads):
+            self.add(key, payload)
+
+    def absorb_bulk(self, delta: Relation) -> None:
+        if delta.schema != self.schema:
+            raise SchemaError(
+                f"cannot absorb {delta.schema} into {self.schema}"
+            )
+        keys, column, payloads = self._delta_parts(delta)
+        n = len(keys)
+        if not n:
+            return
+        ops = self._ops
+        rows_map = self._rows
+        hit_keys: list = []
+        hit_rows: list = []
+        hit_idx: list = []
+        new_keys: list = []
+        new_idx: list = []
+        for i, key in enumerate(keys):
+            row = rows_map.get(key)
+            if row is None:
+                new_keys.append(key)
+                new_idx.append(i)
+            else:
+                hit_keys.append(key)
+                hit_rows.append(row)
+                hit_idx.append(i)
+        d_hit = d_new = None
+        if hit_keys:
+            if column is not None:
+                d_hit = ops.take(column, np.array(hit_idx, dtype=np.intp))
+            else:
+                d_hit = ops.pack(
+                    [payloads[i] for i in hit_idx], len(hit_idx)
+                )
+                if d_hit is None:
+                    self._absorb_scalar(keys, payloads)
+                    return
+        if new_keys:
+            if column is not None:
+                d_new = ops.take(column, np.array(new_idx, dtype=np.intp))
+            else:
+                d_new = ops.pack(
+                    [payloads[i] for i in new_idx], len(new_idx)
+                )
+                if d_new is None:
+                    self._absorb_scalar(keys, payloads)
+                    return
+        self._total_cache = _NO_TOTAL
+        store = self._store
+        states = self._states
+        kill_keys: list = []
+        kill_rows: list = []
+        negpre = None
+        surv_keys: list = []
+        d_surv = None
+        if hit_keys:
+            hit_rows_arr = np.array(hit_rows, dtype=np.intp)
+            pre = store.take(hit_rows_arr)
+            merged = ops.add_packed(pre, d_hit)
+            store.put(hit_rows_arr, merged)
+            zmask = ops.zero_mask(merged)
+            if zmask.any():
+                kill_pos = np.flatnonzero(zmask)
+                surv_pos = np.flatnonzero(~zmask)
+                for j in kill_pos.tolist():
+                    key = hit_keys[j]
+                    kill_keys.append(key)
+                    kill_rows.append(hit_rows[j])
+                    del rows_map[key]
+                self._dead += len(kill_keys)
+                if states:
+                    negpre = ops.neg_packed(ops.take(pre, kill_pos))
+                    d_surv = ops.take(d_hit, surv_pos)
+                    surv_keys = [hit_keys[j] for j in surv_pos.tolist()]
+            elif states:
+                surv_keys = hit_keys
+                d_surv = d_hit
+        new_rows = None
+        if new_keys:
+            new_rows = store.append(d_new, len(new_keys))
+            self._keys.extend(new_keys)
+            rows_map.update(zip(new_keys, new_rows.tolist()))
+        if states:
+            for state in states.values():
+                state.apply(
+                    kill_keys, kill_rows, negpre,
+                    surv_keys, d_surv, new_keys, new_rows, d_new,
+                )
+        if self._dead > self.COMPACT_MIN_DEAD and self._dead > len(rows_map):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the payload block in place, dropping dead rows.
+
+        Container identities (``_rows``, ``_keys``, index states) never
+        change: compiled kernel programs hold direct references to them,
+        and only reach the (reallocating) block arrays through attribute
+        access on these stable objects.
+        """
+        keys = list(self._rows.keys())
+        n = len(keys)
+        store = self._store
+        if n:
+            rows = np.fromiter(self._rows.values(), dtype=np.intp, count=n)
+            packed = store.take(rows)  # fancy indexing copies: safe to reuse
+            store.reset()
+            store.append(packed, n)
+        else:
+            store.reset()
+        self._keys[:] = keys
+        self._rows.clear()
+        self._rows.update(zip(keys, range(n)))
+        for state in self._states.values():
+            for bucket in state.members.values():
+                for key in bucket:
+                    bucket[key] = self._rows[key]
+        self._dead = 0
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._keys.clear()
+        self._store.reset()
+        self._dead = 0
+        self._total_cache = _NO_TOTAL
+        for state in self._states.values():
+            state.clear()
+
+    # ------------------------------------------------------------------
+    # Partitioning (sharding support)
+    # ------------------------------------------------------------------
+
+    def partition(
+        self, attr: str, shards: int, hasher: Callable[[Any], int]
+    ) -> list:
+        """Hash-partition with one hash per *distinct* value and array
+        takes per shard (fragments stay columnar)."""
+        if shards <= 0:
+            raise SchemaError("shard count must be positive")
+        if attr not in self.schema:
+            raise SchemaError(
+                f"cannot partition {self.name!r} on {attr!r}: "
+                f"not in schema {self.schema}"
+            )
+        position = self.schema.index(attr)
+        n = len(self._rows)
+        keys = list(self._rows.keys())
+        fragments = [
+            ColumnarRelation(self.name, self.schema, self.ring)
+            for _ in range(shards)
+        ]
+        if not n:
+            return fragments
+        rows = np.fromiter(self._rows.values(), dtype=np.intp, count=n)
+        assign = np.empty(n, dtype=np.intp)
+        memo: dict = {}
+        for i, key in enumerate(keys):
+            value = key[position]
+            shard = memo.get(value)
+            if shard is None:
+                shard = hasher(value) % shards
+                memo[value] = shard
+            assign[i] = shard
+        for shard, fragment in enumerate(fragments):
+            picked = np.flatnonzero(assign == shard)
+            if len(picked):
+                fragment._bulk_load(
+                    [keys[i] for i in picked],
+                    self._store.take(rows[picked]),
+                )
+        return fragments

@@ -115,16 +115,35 @@ class Ring(ABC):
         return self.mul(self.from_int(n), a)
 
     def kernel_ops(self):
-        """Array-execution hooks for the NumPy kernel backend.
+        """Array-execution hooks for the NumPy kernel backend and the
+        columnar relation store.
 
         Rings that can pack payload columns into arrays return an object
-        with the :mod:`repro.core.kernels` protocol — ``combine(n,
-        factor_cols, lift_cols)`` multiplying whole columns at once,
-        ``reduce(packed, group_ids, n_groups)`` folding rows per output
-        key, and ``unpack(reduced)`` yielding payloads — all semantically
-        equal to the scalar ``mul``/``sum`` fold.  ``None`` (the default)
-        means the kernel backend falls back to generated source for nodes
-        over this ring.
+        with the packed-column protocol shared by
+        :mod:`repro.core.kernels` and :mod:`repro.data.columnar`:
+
+        * ``pack(column, n)`` / ``unpack(packed)`` — payload list ↔
+          packed column (``pack`` may return ``None`` for layout-mixed
+          columns, e.g. cofactor columns with differing supports, which
+          sends that batch down the scalar fallback);
+        * ``payload_layout(payload)`` — the hashable layout key a payload
+          packs under (used to group a mixed column into packable runs);
+        * ``mul_packed(a, b, n)`` / ``add_packed`` / ``neg_packed`` /
+          ``identity(n)`` — vectorized ring arithmetic on packed columns;
+        * ``reduce(packed, group_ids, n_groups)`` — the grouped
+          ``Ring.sum`` fold (group ids assigned first-seen);
+        * ``zero_mask(packed)`` — per-row ``is_zero`` as one bool array
+          (tolerance-aware for float-backed rings);
+        * store hooks ``alloc(cap, layout)`` / ``grow(block, used,
+          cap)`` / ``take(block, rows)`` / ``put`` / ``add_at`` /
+          ``zero_rows`` — preallocated payload blocks with in-place row
+          writes and duplicate-safe scatter-adds, the backing storage of
+          :class:`repro.data.columnar.ColumnarRelation`.
+
+        All of it is semantically equal to the scalar ``mul``/``sum``
+        fold.  ``None`` (the default) means the kernel backend falls back
+        to generated source for nodes over this ring and columnar
+        relations keep payloads as an object column.
         """
         return None
 

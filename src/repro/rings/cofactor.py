@@ -445,7 +445,11 @@ class CofactorRing(Ring):
         return CofactorTriple(self.degree, float(n))
 
     def kernel_ops(self) -> "CofactorKernelOps":
-        return CofactorKernelOps(self)
+        ops = getattr(self, "_kernel_ops", None)
+        if ops is None:
+            ops = CofactorKernelOps(self)
+            self._kernel_ops = ops
+        return ops
 
     def lift(self, index: int) -> Callable[[object], CofactorTriple]:
         """The lifting function ``g_{X_j}`` of Section 6.2 for variable ``j``.
@@ -482,6 +486,10 @@ class CofactorRing(Ring):
                 memo[value] = triple
             return triple
 
+        #: Tag for the kernel backend: a whole column of lifted values
+        #: packs directly from the raw floats (no per-row triples) — see
+        #: :meth:`CofactorKernelOps.pack_lift`.
+        _lift._kernel_lift = ("cofactor", index)
         return _lift
 
 
@@ -531,6 +539,26 @@ class CofactorKernelOps:
         sums = np.array([triple.sums for triple in column])
         quads = np.array([triple.quads for triple in column])
         return (counts, sums, quads, first)
+
+    def pack_lift(self, lift_fn, values, n: int):
+        """Pack a lifted column straight from the raw values.
+
+        ``ring.lift(j)`` maps ``x`` to ``(1, s[j]=x, Q[jj]=x²)``, so a
+        whole column of lift results is ``(ones, x, x²)`` on support
+        ``(j,)`` — no per-row triple construction.  Returns ``None`` for
+        lift functions this ring did not produce (custom liftings take
+        the generic per-row path).
+        """
+        tag = getattr(lift_fn, "_kernel_lift", None)
+        if tag is None or tag[0] != "cofactor":
+            return None
+        x = np.fromiter((float(v) for v in values), dtype=float, count=n)
+        return (
+            np.ones(n, dtype=float),
+            x[:, None],
+            (x * x)[:, None, None],
+            (tag[1],),
+        )
 
     # -- the vectorized ring product -----------------------------------
 
@@ -625,3 +653,123 @@ class CofactorKernelOps:
             make(degree, counts[g], sums[g], quads[g], support)
             for g in range(len(counts))
         ]
+
+    # -- packed-column protocol (zero-pack kernels + columnar storage) --
+
+    def payload_layout(self, payload):
+        return payload.support
+
+    def mul_packed(self, a, b, n: int):
+        return self._mul(a, b, n)
+
+    def identity(self, n: int):
+        return (np.ones(n), None, None, ())
+
+    def _embed(self, packed, union):
+        """Re-express a packed column on a superset support (zero-filled)."""
+        counts, sums, quads, support = packed
+        if support == union:
+            return packed
+        n = len(counts)
+        k = len(union)
+        out_sums = np.zeros((n, k))
+        out_flat = np.zeros((n, k * k))
+        if support:
+            positions, flat = _embed_maps(support, union)
+            out_sums[:, positions] = sums
+            out_flat[:, flat] = quads.reshape(n, -1)
+        return (counts, out_sums, out_flat.reshape(n, k, k), union)
+
+    def add_packed(self, a, b):
+        if a[3] != b[3]:
+            union = tuple(sorted(set(a[3]) | set(b[3])))
+            a = self._embed(a, union)
+            b = self._embed(b, union)
+        counts = a[0] + b[0]
+        if a[1] is None:
+            return (counts, None, None, ())
+        return (counts, a[1] + b[1], a[2] + b[2], a[3])
+
+    def neg_packed(self, a):
+        counts, sums, quads, support = a
+        if sums is None:
+            return (-counts, None, None, ())
+        return (-counts, -sums, -quads, support)
+
+    def zero_mask(self, packed):
+        counts, sums, quads, _ = packed
+        tolerance = self.ring.tolerance
+        mask = np.abs(counts) <= tolerance
+        if sums is not None:
+            n = len(counts)
+            mask = mask & (np.abs(sums) <= tolerance).all(axis=1)
+            mask = mask & (
+                np.abs(quads.reshape(n, -1)) <= tolerance
+            ).all(axis=1)
+        return mask
+
+    # -- store hooks (preallocated blocks, in-place row updates) --------
+
+    def alloc(self, cap: int, layout=()):
+        support = tuple(layout)
+        if not support:
+            return (np.zeros(cap), None, None, ())
+        k = len(support)
+        return (np.zeros(cap), np.zeros((cap, k)), np.zeros((cap, k, k)), support)
+
+    def grow(self, block, used: int, cap: int):
+        counts, sums, quads, support = block
+        out = self.alloc(cap, support)
+        out[0][:used] = counts[:used]
+        if support:
+            out[1][:used] = sums[:used]
+            out[2][:used] = quads[:used]
+        return out
+
+    def take(self, block, rows):
+        counts, sums, quads, support = block
+        if sums is None:
+            return (counts[rows], None, None, ())
+        return (counts[rows], sums[rows], quads[rows], support)
+
+    def _unify_block(self, block, packed):
+        """Widen ``block`` and/or embed ``packed`` onto a shared support."""
+        support = block[3]
+        if packed[3] != support:
+            union = tuple(sorted(set(support) | set(packed[3])))
+            if union != support:
+                cap = len(block[0])
+                widened = self.alloc(cap, union)
+                widened[0][:] = block[0]
+                if support:
+                    positions, flat = _embed_maps(support, union)
+                    widened[1][:, positions] = block[1]
+                    widened[2].reshape(cap, -1)[:, flat] = block[2].reshape(
+                        cap, -1
+                    )
+                block = widened
+            packed = self._embed(packed, union)
+        return block, packed
+
+    def put(self, block, rows, packed):
+        block, packed = self._unify_block(block, packed)
+        block[0][rows] = packed[0]
+        if block[3]:
+            block[1][rows] = packed[1]
+            block[2][rows] = packed[2]
+        return block
+
+    def add_at(self, block, rows, packed):
+        block, packed = self._unify_block(block, packed)
+        np.add.at(block[0], rows, packed[0])
+        if block[3]:
+            np.add.at(block[1], rows, packed[1])
+            np.add.at(block[2], rows, packed[2])
+        return block
+
+    def zero_rows(self, block, rows):
+        block[0][rows] = 0.0
+        if block[3]:
+            block[1][rows] = 0.0
+            block[2][rows] = 0.0
+        return block

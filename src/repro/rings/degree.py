@@ -20,12 +20,210 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
+import numpy as np
+
 from repro.rings.base import Ring
 
-__all__ = ["DegreeRing"]
+__all__ = ["DegreeRing", "DegreeKernelOps"]
 
 Monomial = Tuple[int, ...]
 Poly = Dict[Monomial, float]
+
+
+class DegreeKernelOps:
+    """Stacked-array hooks for :class:`DegreeRing` payload columns.
+
+    A column of n sparse polynomials packs into one dense ``(n, M)``
+    coefficient matrix over the column's monomial *vocabulary* (the sorted
+    union of monomials present) — the layout, in the sense of the packed
+    protocol.  Ring operations become array arithmetic:
+
+    * addition is matrix addition after adapting both operands onto the
+      union vocabulary,
+    * the truncated product is one ``(n, P)·(P, M_out)`` matmul against a
+      memoized 0/1 scatter matrix enumerating all monomial pairs of total
+      degree ≤ 2, and
+    * the grouped ``Ring.sum`` is one ``np.add.at`` over group ids.
+
+    Truncation semantics: the dict payloads drop sub-tolerance coefficients
+    *per step*; the packed pipeline keeps full coefficients in the arrays
+    and applies the tolerance once at :meth:`unpack` / :meth:`zero_mask`.
+    On exactly-cancelling (integer-valued) data the results coincide; on
+    general floats they agree within the ring's ``eq`` tolerance.
+    """
+
+    __slots__ = ("tolerance", "_adapt_cache", "_mul_cache")
+
+    def __init__(self, ring: "DegreeRing"):
+        self.tolerance = ring.tolerance
+        self._adapt_cache: Dict[tuple, tuple] = {}
+        self._mul_cache: Dict[tuple, tuple] = {}
+
+    # -- packing --------------------------------------------------------
+
+    def pack(self, column, n):
+        vocab_set = set()
+        for poly in column:
+            vocab_set.update(poly)
+        vocab = tuple(sorted(vocab_set))
+        index = {monomial: j for j, monomial in enumerate(vocab)}
+        mat = np.zeros((n, len(vocab)), dtype=np.float64)
+        for i, poly in enumerate(column):
+            for monomial, coeff in poly.items():
+                mat[i, index[monomial]] = coeff
+        return (mat, vocab)
+
+    def payload_layout(self, payload):
+        return tuple(sorted(payload))
+
+    def pack_lift(self, lift_fn, values, n):
+        """Pack a lifted column straight from the raw values:
+        ``x ↦ 1 + x·xⱼ + x²·xⱼ²`` is the dense ``(1, x, x²)`` row on the
+        vocabulary ``((), (j,), (j, j))``.  ``None`` for lift functions
+        this ring did not produce."""
+        tag = getattr(lift_fn, "_kernel_lift", None)
+        if tag is None or tag[0] != "degree":
+            return None
+        j = tag[1]
+        x = np.fromiter((float(v) for v in values), dtype=np.float64, count=n)
+        mat = np.empty((n, 3), dtype=np.float64)
+        mat[:, 0] = 1.0
+        mat[:, 1] = x
+        mat[:, 2] = x * x
+        return (mat, ((), (j,), (j, j)))
+
+    def unpack(self, packed):
+        mat, vocab = packed
+        tolerance = self.tolerance
+        out = []
+        for row in mat.tolist():
+            out.append(
+                {
+                    monomial: coeff
+                    for monomial, coeff in zip(vocab, row)
+                    if abs(coeff) > tolerance
+                }
+            )
+        return out
+
+    # -- arithmetic -----------------------------------------------------
+
+    def _adapt_map(self, vocab, union):
+        """Column positions of ``vocab`` inside ``union`` (memoized)."""
+        key = (vocab, union)
+        hit = self._adapt_cache.get(key)
+        if hit is None:
+            where = {monomial: j for j, monomial in enumerate(union)}
+            hit = np.array([where[m] for m in vocab], dtype=np.intp)
+            self._adapt_cache[key] = hit
+        return hit
+
+    def _adapt(self, packed, union):
+        mat, vocab = packed
+        if vocab == union:
+            return mat
+        out = np.zeros((mat.shape[0], len(union)), dtype=np.float64)
+        if vocab:
+            out[:, self._adapt_map(vocab, union)] = mat
+        return out
+
+    def _union(self, va, vb):
+        if va == vb:
+            return va
+        return tuple(sorted(set(va) | set(vb)))
+
+    def identity(self, n):
+        return (np.ones((n, 1), dtype=np.float64), ((),))
+
+    def add_packed(self, a, b):
+        union = self._union(a[1], b[1])
+        return (self._adapt(a, union) + self._adapt(b, union), union)
+
+    def neg_packed(self, a):
+        return (-a[0], a[1])
+
+    def mul_packed(self, a, b, n):
+        """Truncated polynomial product: one matmul per column pair."""
+        mat_a, va = a
+        mat_b, vb = b
+        key = (va, vb)
+        hit = self._mul_cache.get(key)
+        if hit is None:
+            pairs = []
+            out_vocab_set = set()
+            for ia, ma in enumerate(va):
+                for ib, mb in enumerate(vb):
+                    if len(ma) + len(mb) > 2:
+                        continue  # quotient: monomials of degree ≥ 3 vanish
+                    monomial = tuple(sorted(ma + mb))
+                    pairs.append((ia, ib, monomial))
+                    out_vocab_set.add(monomial)
+            out_vocab = tuple(sorted(out_vocab_set))
+            where = {monomial: j for j, monomial in enumerate(out_vocab)}
+            scatter = np.zeros((len(pairs), len(out_vocab)), dtype=np.float64)
+            ia_arr = np.array([p[0] for p in pairs], dtype=np.intp)
+            ib_arr = np.array([p[1] for p in pairs], dtype=np.intp)
+            for row, (_, _, monomial) in enumerate(pairs):
+                scatter[row, where[monomial]] = 1.0
+            hit = (out_vocab, ia_arr, ib_arr, scatter)
+            self._mul_cache[key] = hit
+        out_vocab, ia_arr, ib_arr, scatter = hit
+        if not out_vocab:
+            return (np.zeros((n, 0), dtype=np.float64), out_vocab)
+        prod = mat_a[:, ia_arr] * mat_b[:, ib_arr]
+        return (prod @ scatter, out_vocab)
+
+    def reduce(self, packed, group_ids, n_groups):
+        mat, vocab = packed
+        out = np.zeros((n_groups, len(vocab)), dtype=np.float64)
+        np.add.at(out, group_ids, mat)
+        return (out, vocab)
+
+    def zero_mask(self, packed):
+        mat, vocab = packed
+        if not vocab:
+            return np.ones(mat.shape[0], dtype=bool)
+        return (np.abs(mat) <= self.tolerance).all(axis=1)
+
+    # -- store hooks ----------------------------------------------------
+
+    def alloc(self, cap, layout=()):
+        return (np.zeros((cap, len(layout)), dtype=np.float64), tuple(layout))
+
+    def grow(self, block, used, cap):
+        mat, vocab = block
+        out = np.zeros((cap, len(vocab)), dtype=np.float64)
+        out[:used] = mat[:used]
+        return (out, vocab)
+
+    def take(self, block, rows):
+        mat, vocab = block
+        return (mat[rows], vocab)
+
+    def _unify_block(self, block, packed):
+        """Widen ``block`` and/or adapt ``packed`` onto a shared vocab."""
+        mat, vocab = block
+        union = self._union(vocab, packed[1])
+        if union != vocab:
+            widened = np.zeros((mat.shape[0], len(union)), dtype=np.float64)
+            if vocab:
+                widened[:, self._adapt_map(vocab, union)] = mat
+            block = (widened, union)
+        return block, self._adapt(packed, union)
+
+    def put(self, block, rows, packed):
+        block, values = self._unify_block(block, packed)
+        block[0][rows] = values
+        return block
+
+    def add_at(self, block, rows, packed):
+        block, values = self._unify_block(block, packed)
+        np.add.at(block[0], rows, values)
+        return block
+
+    def zero_rows(self, block, rows):
+        block[0][rows] = 0.0
+        return block
 
 
 class DegreeRing(Ring):
@@ -119,4 +317,14 @@ class DegreeRing(Ring):
             x = float(value)  # type: ignore[arg-type]
             return {(): 1.0, (index,): x, (index, index): x * x}
 
+        #: Tag for the kernel backend: a lifted column packs directly from
+        #: the raw values — see :meth:`DegreeKernelOps.pack_lift`.
+        _lift._kernel_lift = ("degree", index)
         return _lift
+
+    def kernel_ops(self):
+        ops = getattr(self, "_kernel_ops", None)
+        if ops is None:
+            ops = DegreeKernelOps(self)
+            self._kernel_ops = ops
+        return ops

@@ -36,12 +36,19 @@ class ScalarKernelOps:
     identical to the scalar fold — addition and multiplication of machine
     scalars are exact within the dtype (ℤ payloads ride int64: overflow
     beyond 2⁶³ is out of scope for multiplicity counting).
+
+    Beyond the original combine/reduce/unpack protocol this implements the
+    *store* hooks (:mod:`repro.data.columnar`): a payload block is one
+    preallocated array, rows are written/accumulated in place, and zero
+    detection is a vectorized mask.  The scalar layout is trivial
+    (``()``) — every payload packs the same way.
     """
 
-    __slots__ = ("dtype",)
+    __slots__ = ("dtype", "tolerance")
 
-    def __init__(self, dtype):
+    def __init__(self, dtype, tolerance: float = 0.0):
         self.dtype = dtype
+        self.tolerance = tolerance
 
     def combine(self, n, factor_cols, lift_cols):
         """The row-wise payload product of all columns (length-``n``)."""
@@ -66,6 +73,56 @@ class ScalarKernelOps:
 
     def unpack(self, reduced):
         return reduced.tolist()
+
+    # -- packed-column protocol (zero-pack kernels + columnar storage) --
+
+    def pack(self, column, n):
+        return np.asarray(column, dtype=self.dtype)
+
+    def payload_layout(self, payload):
+        return ()
+
+    def mul_packed(self, a, b, n):
+        return a * b
+
+    def identity(self, n):
+        return np.ones(n, dtype=self.dtype)
+
+    def add_packed(self, a, b):
+        return a + b
+
+    def neg_packed(self, a):
+        return -a
+
+    def zero_mask(self, packed):
+        if self.tolerance:
+            return np.abs(packed) <= self.tolerance
+        return packed == 0
+
+    # -- store hooks (preallocated blocks, in-place row updates) --------
+
+    def alloc(self, cap, layout=()):
+        return np.zeros(cap, dtype=self.dtype)
+
+    def grow(self, block, used, cap):
+        out = np.zeros(cap, dtype=self.dtype)
+        out[:used] = block[:used]
+        return out
+
+    def take(self, block, rows):
+        return block[rows]
+
+    def put(self, block, rows, packed):
+        block[rows] = packed
+        return block
+
+    def add_at(self, block, rows, packed):
+        np.add.at(block, rows, packed)
+        return block
+
+    def zero_rows(self, block, rows):
+        block[rows] = 0
+        return block
 
 
 class IntegerRing(Ring):
@@ -97,7 +154,11 @@ class IntegerRing(Ring):
         return sum(items)
 
     def kernel_ops(self):
-        return ScalarKernelOps(np.int64)
+        ops = getattr(self, "_kernel_ops", None)
+        if ops is None:
+            ops = ScalarKernelOps(np.int64)
+            self._kernel_ops = ops
+        return ops
 
 
 class RealRing(Ring):
@@ -145,7 +206,11 @@ class RealRing(Ring):
         return sum(items)
 
     def kernel_ops(self):
-        return ScalarKernelOps(np.float64)
+        ops = getattr(self, "_kernel_ops", None)
+        if ops is None:
+            ops = ScalarKernelOps(np.float64, tolerance=self.tolerance)
+            self._kernel_ops = ops
+        return ops
 
 
 class BooleanSemiring(Ring):

@@ -11,9 +11,102 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.rings.base import Ring
 
-__all__ = ["ProductRing"]
+__all__ = ["ProductRing", "ProductKernelOps"]
+
+
+class ProductKernelOps:
+    """Component-wise delegation of the packed-column kernel protocol.
+
+    A packed column (and a store block) is a tuple with one packed column
+    per component ring; every operation fans out to the component ops.
+    Available only when *all* component rings expose kernel ops — a single
+    opaque component forces the whole product back to dict payloads.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, component_ops):
+        self.ops = tuple(component_ops)
+
+    def pack(self, column, n):
+        packed = []
+        for i, ops in enumerate(self.ops):
+            comp = ops.pack([payload[i] for payload in column], n)
+            if comp is None:
+                return None
+            packed.append(comp)
+        return tuple(packed)
+
+    def payload_layout(self, payload):
+        return tuple(
+            ops.payload_layout(comp) for ops, comp in zip(self.ops, payload)
+        )
+
+    def unpack(self, packed):
+        return list(zip(*(ops.unpack(comp) for ops, comp in zip(self.ops, packed))))
+
+    def identity(self, n):
+        return tuple(ops.identity(n) for ops in self.ops)
+
+    def mul_packed(self, a, b, n):
+        return tuple(
+            ops.mul_packed(x, y, n) for ops, x, y in zip(self.ops, a, b)
+        )
+
+    def add_packed(self, a, b):
+        return tuple(ops.add_packed(x, y) for ops, x, y in zip(self.ops, a, b))
+
+    def neg_packed(self, a):
+        return tuple(ops.neg_packed(x) for ops, x in zip(self.ops, a))
+
+    def reduce(self, packed, group_ids, n_groups):
+        return tuple(
+            ops.reduce(comp, group_ids, n_groups)
+            for ops, comp in zip(self.ops, packed)
+        )
+
+    def zero_mask(self, packed):
+        mask = None
+        for ops, comp in zip(self.ops, packed):
+            m = ops.zero_mask(comp)
+            mask = m if mask is None else mask & m
+        return mask if mask is not None else np.zeros(0, dtype=bool)
+
+    # -- store hooks ----------------------------------------------------
+
+    def alloc(self, cap, layout=None):
+        if layout is None:
+            layout = tuple(() for _ in self.ops)
+        return tuple(
+            ops.alloc(cap, comp) for ops, comp in zip(self.ops, layout)
+        )
+
+    def grow(self, block, used, cap):
+        return tuple(
+            ops.grow(comp, used, cap) for ops, comp in zip(self.ops, block)
+        )
+
+    def take(self, block, rows):
+        return tuple(ops.take(comp, rows) for ops, comp in zip(self.ops, block))
+
+    def put(self, block, rows, packed):
+        return tuple(
+            ops.put(comp, rows, values)
+            for ops, comp, values in zip(self.ops, block, packed)
+        )
+
+    def add_at(self, block, rows, packed):
+        return tuple(
+            ops.add_at(comp, rows, values)
+            for ops, comp, values in zip(self.ops, block, packed)
+        )
+
+    def zero_rows(self, block, rows):
+        return tuple(ops.zero_rows(comp, rows) for ops, comp in zip(self.ops, block))
 
 
 class ProductRing(Ring):
@@ -71,3 +164,13 @@ class ProductRing(Ring):
 
     def from_int(self, n: int) -> tuple:
         return tuple(r.from_int(n) for r in self.rings)
+
+    def kernel_ops(self):
+        ops = getattr(self, "_kernel_ops", None)
+        if ops is None:
+            component_ops = [r.kernel_ops() for r in self.rings]
+            if any(comp is None for comp in component_ops):
+                return None
+            ops = ProductKernelOps(component_ops)
+            self._kernel_ops = ops
+        return ops

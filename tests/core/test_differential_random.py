@@ -31,7 +31,12 @@ regression test.
 to 200 (1000 streams) to sweep a wider seed range than per-push CI can
 afford.  ``FIVM_BACKEND`` narrows the backend set to one primary backend
 (the interpreter rides along as the reference) — the CI tier-1 matrix
-runs the suite once per backend that way.
+runs the suite once per backend that way.  ``FIVM_STORAGE`` does the same
+for the view-storage dimension (``"dict"`` or ``"columnar"``): unset, every
+backend runs on both storages; set, the chosen storage runs with the dict
+reference alongside.  Either way the dict/interpreter engine is always in
+the pool, so every backend × storage combination is differentially held to
+the reference semantics on every stream.
 """
 
 from __future__ import annotations
@@ -77,6 +82,25 @@ if _ENV_BACKEND:
     BACKENDS = tuple(dict.fromkeys((_ENV_BACKEND, "interpreter")))
 else:
     BACKENDS = ("source", "kernels", "interpreter")
+#: View storages under differential test, narrowed by ``FIVM_STORAGE``
+#: the same way.  The dict storage always rides along as the reference.
+_ENV_STORAGE = os.environ.get("FIVM_STORAGE", "").strip()
+if _ENV_STORAGE:
+    STORAGES = tuple(dict.fromkeys((_ENV_STORAGE, "dict")))
+else:
+    STORAGES = ("dict", "columnar")
+#: Engine configurations: the backend × storage product — except when
+#: both envs pin a single combination, where the pool is trimmed to the
+#: pinned pair plus the interpreter/dict reference (the CI matrix runs
+#: one such pair per job rather than re-checking the full product).
+if _ENV_BACKEND and _ENV_STORAGE:
+    CONFIGS = tuple(dict.fromkeys(
+        ((_ENV_BACKEND, _ENV_STORAGE), ("interpreter", "dict"))
+    ))
+else:
+    CONFIGS = tuple(
+        (backend, storage) for backend in BACKENDS for storage in STORAGES
+    )
 #: Streams per ring family; the nightly CI job raises this via the
 #: environment (FIVM_DIFF_STREAMS_PER_RING=200 → 1000 streams) while
 #: per-push runs keep the fast default.
@@ -282,13 +306,24 @@ def run_case(case: dict, ring_family) -> Optional[str]:
         )
 
     order = VariableOrder.auto(make_query("o"))
-    primary = BACKENDS[0]
+    primary = "/".join(CONFIGS[0])
+    primary_backend, _ = CONFIGS[0]
     engines = {
-        backend: FIVMEngine(make_query(backend), order, backend=backend)
-        for backend in BACKENDS
+        f"{backend}/{storage}": FIVMEngine(
+            make_query(f"{backend}_{storage}"), order,
+            backend=backend, storage=storage,
+        )
+        for backend, storage in CONFIGS
     }
+    # The sharded engine inherits the primary backend; its shards run on
+    # columnar storage whenever columnar is in the pool, so the sharded
+    # wire protocol is exercised against array-native fragments too.
+    sharded_storage = (
+        "columnar" if any(s == "columnar" for _, s in CONFIGS) else "dict"
+    )
     sharded = ShardedFIVMEngine(
-        make_query("s"), order, shards=3, executor="inline", backend=primary
+        make_query("s"), order, shards=3, executor="inline",
+        backend=primary_backend, storage=sharded_storage,
     )
     recursive = RecursiveIVM(make_query("r")) if commutative else None
     db = Database(

@@ -1,0 +1,161 @@
+"""Unit tests for the kernel backend's execution policy.
+
+The vectorized path has two exactness escape hatches — the
+:data:`MIN_VECTOR_ROWS` row threshold (below it the scalar fold beats
+array packing) and the mixed-support pack failure (a cofactor column
+spanning several supports refuses to pack) — both of which must produce
+bit-identical results to the vectorized path.  Columnar storage adds the
+zero-pack passthrough: a kernel program's output delta carries its packed
+block to the absorbing view and the next trigger in the chain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FIVMEngine, Query
+from repro.core.kernels import (
+    _MIN_VECTOR_ROWS,
+    KernelDeltaProgram,
+    MIN_VECTOR_ROWS,
+)
+from repro.data import Relation
+from repro.rings import CofactorRing, INT_RING, Lifting
+
+SCHEMAS = {"R": ("A", "B"), "S": ("B", "C")}
+
+
+def make_engine(ring, lifts=None, **kwargs):
+    lifting = Lifting(ring, lifts or {})
+    query = Query("Q", SCHEMAS, ring=ring, lifting=lifting)
+    return FIVMEngine(query, backend="kernels", **kwargs)
+
+
+def delta(rel, ring, data):
+    return Relation(rel, SCHEMAS[rel], ring, data)
+
+
+def test_threshold_is_a_named_public_constant():
+    assert isinstance(MIN_VECTOR_ROWS, int) and MIN_VECTOR_ROWS == 8
+    assert _MIN_VECTOR_ROWS is MIN_VECTOR_ROWS  # back-compat alias
+
+
+def test_threshold_picks_scalar_below_and_vector_at_or_above(monkeypatch):
+    calls = []
+    original = KernelDeltaProgram._finish_scalar
+
+    def spy(self, keys, factor_cols, lift_cols, out):
+        calls.append(len(keys))
+        return original(self, keys, factor_cols, lift_cols, out)
+
+    monkeypatch.setattr(KernelDeltaProgram, "_finish_scalar", spy)
+    engine = make_engine(INT_RING, storage="dict")
+    small = {(i, 0): 1 for i in range(MIN_VECTOR_ROWS - 1)}
+    engine.apply_update(delta("R", INT_RING, small))
+    assert calls and all(n < MIN_VECTOR_ROWS for n in calls)
+    calls.clear()
+    large = {(i, 1): 1 for i in range(MIN_VECTOR_ROWS)}
+    engine.apply_update(delta("R", INT_RING, large))
+    assert calls == []  # every gather was at or above the threshold
+
+
+def test_columnar_gathers_vectorize_below_the_threshold(monkeypatch):
+    # Packed-store columns always vectorize: the scalar fold would have
+    # to unpack rows into payload objects first, inverting the trade the
+    # threshold exists to make.
+    calls = []
+    original = KernelDeltaProgram._finish_scalar
+
+    def spy(self, keys, factor_cols, lift_cols, out):
+        calls.append(self._any_store)
+        return original(self, keys, factor_cols, lift_cols, out)
+
+    monkeypatch.setattr(KernelDeltaProgram, "_finish_scalar", spy)
+    engine = make_engine(INT_RING, storage="columnar")
+    engine.apply_update(delta("S", INT_RING, {(0, 0): 1, (1, 1): 2}))
+    # This R-delta joins against the columnar S-view: the join trigger's
+    # probe column resolves from the packed store, so even 2 rows take
+    # the array path.  Source-only leaf triggers (no store factors) may
+    # still fold scalar below the threshold.
+    engine.apply_update(delta("R", INT_RING, {(5, 0): 1, (6, 1): 1}))
+    interp = FIVMEngine(
+        Query("Q", SCHEMAS, ring=INT_RING, lifting=Lifting(INT_RING, {})),
+        backend="interpreter",
+    )
+    interp.apply_update(delta("S", INT_RING, {(0, 0): 1, (1, 1): 2}))
+    interp.apply_update(delta("R", INT_RING, {(5, 0): 1, (6, 1): 1}))
+    for name, view in interp.views.items():
+        assert view.same_as(engine.views[name])
+    assert any(
+        p._any_store
+        for p in engine._programs.values()
+        if isinstance(p, KernelDeltaProgram)
+    )
+    assert not any(calls)  # no store-backed program took the scalar fold
+
+
+def test_scalar_and_vector_paths_agree_across_the_threshold():
+    reference = make_engine(INT_RING, storage="dict")
+    interp_query = Query("Q", SCHEMAS, ring=INT_RING, lifting=Lifting(INT_RING, {}))
+    interp = FIVMEngine(interp_query, backend="interpreter")
+    for size in (1, MIN_VECTOR_ROWS - 1, MIN_VECTOR_ROWS, 3 * MIN_VECTOR_ROWS):
+        data = {(i, i % 3): 1 + (i % 2) for i in range(size)}
+        r1 = reference.apply_update(delta("R", INT_RING, dict(data)))
+        r2 = interp.apply_update(delta("R", INT_RING, dict(data)))
+        assert r2.same_as(r1.rename({}, name=r2.name))
+    for name, view in interp.views.items():
+        assert view.same_as(reference.views[name])
+
+
+@pytest.mark.parametrize("storage", ["dict", "columnar"])
+def test_mixed_support_batch_falls_back_exactly(storage):
+    # Lifting only B: R-deltas produce payload columns mixing the lifted
+    # support with count-only (empty-support) triples, which refuse to
+    # pack — the run must take the scalar fold and still match the
+    # interpreter exactly.
+    ring = CofactorRing(3)
+    lifts = {"B": ring.lift(1)}
+    kernels = make_engine(ring, lifts, storage=storage)
+    interp = FIVMEngine(
+        Query("Q", SCHEMAS, ring=ring, lifting=Lifting(ring, lifts)),
+        backend="interpreter",
+    )
+    n = 2 * MIN_VECTOR_ROWS
+    mixed = {}
+    for i in range(n):
+        payload = ring.lift(2)(float(i)) if i % 2 else ring.from_int(1)
+        mixed[(i, i % 4)] = payload
+    for engine in (kernels, interp):
+        engine.apply_update(delta("R", ring, dict(mixed)))
+        engine.apply_update(
+            delta("S", ring, {(i % 4, i): ring.from_int(1) for i in range(n)})
+        )
+    for name, view in interp.views.items():
+        assert view.same_as(kernels.views[name])
+
+
+def test_kernel_program_output_carries_its_packed_block():
+    engine = make_engine(INT_RING, storage="columnar")
+    programs = {
+        key: program
+        for key, program in engine._programs.items()
+        if isinstance(program, KernelDeltaProgram)
+    }
+    assert programs  # columnar + packed ring: every flat trigger is a kernel
+    leaf = programs[("V@A_R", ("child", 0))]
+    out = leaf.run(
+        delta("R", INT_RING, {(i, i % 5): 1 for i in range(4 * MIN_VECTOR_ROWS)})
+    )
+    assert out._kernel_packed is not None
+    unpacked = engine.query.ring.kernel_ops().unpack(out._kernel_packed)
+    assert unpacked == list(out._data.values())  # aligned, insertion order
+    # A packed output feeds the next program without re-packing (the
+    # passthrough consumes the block) and still computes the same delta.
+    parent = programs[("V@B_RS", ("child", 0))]
+    with_hint = parent.run(out)
+    plain = Relation(out.name, out.schema, out.ring, dict(out._data))
+    without_hint = parent.run(plain)
+    assert with_hint.same_as(without_hint)
+    # The passthrough hint dies on mutation: the delta is then plain data.
+    out.add((99,), 1)
+    assert out._kernel_packed is None
