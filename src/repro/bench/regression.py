@@ -71,6 +71,9 @@ METRICS = {
     "BENCH_ingest_throughput.json": [
         (("speedup",), "ratio", False),
     ],
+    "BENCH_serving_latency.json": [
+        (("speedup",), "ratio", False),
+    ],
 }
 
 

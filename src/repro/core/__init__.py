@@ -5,7 +5,12 @@ from repro.core.analysis import (
     is_q_hierarchical,
     update_cost_sketch,
 )
-from repro.core.engine import BACKENDS, FIVMEngine
+from repro.core.engine import (
+    BACKENDS,
+    MATERIALIZATIONS,
+    STORAGES,
+    FIVMEngine,
+)
 from repro.core.factorized_update import FactorizedUpdate, decompose
 from repro.core.hypergraph import (
     connected_components,
@@ -20,6 +25,7 @@ from repro.core.materialization import (
     materialized_views,
 )
 from repro.core.query import Query
+from repro.core.serving import ActiveSet, ViewClient, upquery
 from repro.core.sharded import ShardedFIVMEngine, stable_hash
 from repro.core.variable_order import VariableOrder, VONode
 from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
@@ -27,6 +33,11 @@ from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_vi
 __all__ = [
     "FIVMEngine",
     "BACKENDS",
+    "STORAGES",
+    "MATERIALIZATIONS",
+    "ActiveSet",
+    "ViewClient",
+    "upquery",
     "ShardedFIVMEngine",
     "stable_hash",
     "is_hierarchical",

@@ -66,6 +66,32 @@ one — while paths and indexes are touched once per relation instead of once
 per delta (the paper's Figure 12 batching effect).  Items may also be
 :class:`FactorizedUpdate` instances, whose terms coalesce per relation and
 propagate in product form through the same pass.
+
+Partial materialization (serving mode)
+--------------------------------------
+
+``materialization="partial"`` puts the root view — the served surface —
+in Noria-style partial mode (:mod:`repro.core.serving`): it only holds
+entries for keys in its **active set** (keys registered by
+:class:`~repro.core.serving.ViewClient` lookups), deltas for every other
+key are dropped at the root *before* the root's sibling probes run (with
+an explicit drop record so later registration is observable), and a
+cold-key lookup recomputes its value with a single-key upquery cascade
+over the interior views, which stay fully maintained.  Construction
+forces the **upquery support set**: every view (or, failing that, base
+leaf) the cascade can reach is materialized even when µ alone would skip
+it.  An LRU evictor bounds the active set under ``partial_budget``
+logical scalars (the accounting of :mod:`repro.bench.memory`).  In this
+mode root deltas returned by the triggers are restricted to the active
+set, and :meth:`result` only covers served keys — reads go through the
+client, not :meth:`contents`.
+
+Every write into a materialized view — delta absorbs on both propagate
+paths, factorized flattens, stored-base absorbs, and
+:meth:`initialize`'s loads — flows through the single
+:meth:`_write_view` choke point, which applies the partial filter and
+the probe-cache invalidation together so no write path can bypass
+either.
 """
 
 from __future__ import annotations
@@ -100,8 +126,10 @@ __all__ = [
     "check_factorized",
     "BACKENDS",
     "STORAGES",
+    "MATERIALIZATIONS",
     "resolve_backend",
     "resolve_storage",
+    "resolve_materialization",
 ]
 
 #: The trigger backends a :class:`FIVMEngine` can execute its delta
@@ -115,6 +143,12 @@ BACKENDS = ("interpreter", "source", "kernels")
 #: maintenance, and (under the kernels backend) the trigger programs
 #: themselves then run over arrays end-to-end.
 STORAGES = ("dict", "columnar")
+
+#: How much of the view tree is maintained: ``"full"`` keeps every
+#: materialized view complete (the classic mode), ``"partial"`` keeps the
+#: root view only for actively served keys (see the module docstring and
+#: :mod:`repro.core.serving`).
+MATERIALIZATIONS = ("full", "partial")
 
 
 def resolve_backend(backend: Optional[str], compiled: bool) -> str:
@@ -142,6 +176,19 @@ def resolve_storage(storage: Optional[str]) -> str:
             f"unknown storage {storage!r}; expected one of {STORAGES}"
         )
     return storage
+
+
+def resolve_materialization(materialization: Optional[str]) -> str:
+    """Validate the ``materialization=`` parameter; ``None`` means the
+    classic full materialization."""
+    if materialization is None:
+        return "full"
+    if materialization not in MATERIALIZATIONS:
+        raise ValueError(
+            f"unknown materialization {materialization!r}; "
+            f"expected one of {MATERIALIZATIONS}"
+        )
+    return materialization
 
 #: A delta source at a node: ("child", i) for the i-th child subtree,
 #: ("ind", i) for the i-th hosted indicator projection.
@@ -240,6 +287,8 @@ class FIVMEngine:
         compiled: bool = True,
         backend: Optional[str] = None,
         storage: Optional[str] = None,
+        materialization: Optional[str] = None,
+        partial_budget: Optional[int] = None,
         program_library: Optional[ProgramLibrary] = None,
     ):
         self.query = query
@@ -276,6 +325,24 @@ class FIVMEngine:
         self._sources = delta_sources(self.tree, self.updatable)
         #: Payload storage for materialized views (see :data:`STORAGES`).
         self.storage = resolve_storage(storage)
+        #: Full vs partial maintenance (see :data:`MATERIALIZATIONS`).
+        self.materialization = resolve_materialization(materialization)
+        #: Active sets per partial view (empty in full mode); consulted by
+        #: the :meth:`_write_view` choke point and the serving client.
+        self.partial: Dict[str, "ActiveSet"] = {}
+        if self.materialization == "partial" and not self.tree.root.is_leaf:
+            # The root is the served surface; everything below it that an
+            # upquery can reach must stay fully maintained, even views µ
+            # alone would skip (imported lazily: serving pulls in the
+            # bench memory accounting, which full-mode engines never need).
+            from repro.core.serving import ActiveSet
+
+            root = self.tree.root
+            for child in root.children:
+                self._force_upquery_support(child)
+            self.partial[root.name] = ActiveSet(
+                root.name, root.keys, partial_budget
+            )
         view_cls = ColumnarRelation if self.storage == "columnar" else Relation
         self.views: Dict[str, Relation] = {}
         for node in self.tree.nodes:
@@ -477,8 +544,24 @@ class FIVMEngine:
             )
         return stored
 
+    def _force_upquery_support(self, node: ViewNode) -> None:
+        """Ensure ``node``'s slice is computable by a cold-key upquery.
+
+        A materialized view answers the cascade with one index probe; an
+        unmaterialized one must recurse, so its children (transitively,
+        down to base leaves) are forced into µ's materialized set.  Runs
+        before view storage is allocated, so forcing is just flag flips.
+        """
+        if self.flags[node.name]:
+            return
+        if node.is_leaf:
+            self.flags[node.name] = True
+            return
+        for child in node.children:
+            self._force_upquery_support(child)
+
     # ------------------------------------------------------------------
-    # Initialization / recomputation
+    # The write/invalidation choke point
     # ------------------------------------------------------------------
 
     def _invalidate(self, view_name: str) -> None:
@@ -486,17 +569,142 @@ class FIVMEngine:
         if self._probe_cache:
             self._probe_cache.pop(view_name, None)
 
+    def _write_view(self, view_name: str, delta: Relation) -> Relation:
+        """Absorb ``delta`` into a materialized view — the single choke
+        point every write path shares.
+
+        Applies, in order: the partial-materialization filter (entries
+        for unregistered keys are dropped and recorded, see the module
+        docstring), the absorb itself, the probe-cache invalidation that
+        keeps memoized sibling collapses sound, and — for partial views —
+        the cost re-accounting plus LRU eviction back under budget.
+        Returns the delta that was actually absorbed (``delta`` itself
+        unless the partial filter trimmed it), so propagation loops can
+        keep threading the surviving entries upward.
+        """
+        active = self.partial.get(view_name)
+        if active is not None:
+            delta = self._partial_filter(active, delta)
+            if delta.is_empty:
+                return delta
+        view = self.views[view_name]
+        view.absorb(delta)
+        self._invalidate(view_name)
+        if active is not None:
+            from repro.core.serving import active_payload_cost
+
+            ring = self.query.ring
+            for key in delta.keys():
+                active.update_cost(
+                    key, active_payload_cost(ring, view.payload(key))
+                )
+            self._evict_over_budget(active)
+        return delta
+
+    def _partial_filter(self, active, delta: Relation) -> Relation:
+        """Split a delta for a partial view into the absorbed (active)
+        part, recording a drop per discarded key."""
+        entries = active.entries
+        data = delta._data
+        kept = Relation(delta.name, delta.schema, delta.ring)
+        kept._data = {k: v for k, v in data.items() if k in entries}
+        if len(kept._data) != len(data):
+            active.record_drops(set(data) - entries.keys())
+        return kept
+
+    def _partial_prefilter(
+        self, active, node: ViewNode, delta: Relation
+    ) -> Relation:
+        """Drop cold-key rows of a delta *entering* a partial node before
+        its probe program runs.
+
+        Only applies when every key attribute of the node appears in the
+        incoming delta's schema — then each delta row contributes to
+        exactly the root key it projects to (the lowering binds output
+        registers straight from the delta row), so rows projecting to
+        unregistered keys can be discarded without probing siblings at
+        all: the Noria saving that makes cold writes cheap.  Otherwise
+        the delta passes through and :meth:`_write_view` post-filters.
+        """
+        schema = delta.schema
+        keys = node.keys
+        data = delta._data
+        entries = active.entries
+        kept = Relation(delta.name, schema, delta.ring)
+        if tuple(keys) == tuple(schema):
+            # The usual shape — the delta entering the root is the child's
+            # marginalized output, keyed exactly by the root's group-by —
+            # filters at C speed: one dict comprehension, one set diff.
+            kept._data = {k: v for k, v in data.items() if k in entries}
+            if len(kept._data) != len(data):
+                active.record_drops(set(data) - entries.keys())
+            return kept
+        if any(attr not in schema for attr in keys):
+            return delta
+        positions = [schema.index(attr) for attr in keys]
+        out = kept._data
+        dropped = set()
+        for key, payload in data.items():
+            out_key = tuple(key[p] for p in positions)
+            if out_key in entries:
+                out[key] = payload
+            else:
+                dropped.add(out_key)
+        active.record_drops(dropped)
+        return kept
+
+    def _evict_over_budget(self, active) -> None:
+        """LRU-evict active keys until the set fits its scalar budget.
+
+        Evicted keys lose their stored payload too (that is the memory
+        being reclaimed); a later lookup re-registers them through the
+        upquery path.  The stored entry is cancelled with a raw absorb —
+        the key is leaving the active set, so the partial filter must not
+        see this write.
+        """
+        if active.budget is None or not active.over_budget():
+            return
+        view = self.views[active.name]
+        ring = self.query.ring
+        while active.over_budget() and len(active.entries) > 0:
+            key = active.pop_lru()
+            payload = view.payload(key)
+            if not ring.is_zero(payload):
+                cancel = Relation(view.name, view.schema, ring)
+                cancel._data = {key: ring.neg(payload)}
+                view.absorb(cancel)
+                self._invalidate(active.name)
+
+    # ------------------------------------------------------------------
+    # Initialization / recomputation
+    # ------------------------------------------------------------------
+
     def initialize(self, db: Database) -> None:
-        """(Re)load all materialized views from a database snapshot."""
+        """(Re)load all materialized views from a database snapshot.
+
+        Every view load flows through :meth:`_write_view`, so the loads
+        invalidate the probe cache (and respect partial-mode active sets)
+        exactly like delta writes do — lookups or updates interleaved
+        before an initialize can never leave stale memoized collapses
+        behind.
+        """
         self._probe_cache.clear()
         for view in self.views.values():
             view.clear()
+        for active in self.partial.values():
+            # Stored payloads are gone; re-account every active key at its
+            # key-only cost (the reload below restores the active values),
+            # and forget drop records — they described the previous state.
+            for key in active.entries:
+                active.entries[key] = active.width
+            active.total_cost = active.width * len(active.entries)
+            active.dropped.clear()
 
         def evaluate(node: ViewNode) -> Relation:
             if node.is_leaf:
                 contents = db.relation(node.leaf_of)
                 if self.flags[node.name]:
-                    self.views[node.name].absorb(contents)
+                    self._write_view(node.name, contents)
                 return contents
             child_contents = [evaluate(child) for child in node.children]
             ind_contents = []
@@ -505,7 +713,7 @@ class FIVMEngine:
                 ind_contents.append(iv.relation)
             contents = compute_view(node, child_contents, self.query, ind_contents)
             if self.flags[node.name]:
-                self.views[node.name].absorb(contents)
+                self._write_view(node.name, contents)
             return contents
 
         evaluate(self.tree.root)
@@ -566,10 +774,8 @@ class FIVMEngine:
             ind_tasks.append((node, i, iv, iv.compute_delta(delta, base)))
 
         # 2. Absorb the delta into the stored base copy (if stored).
-        stored_base = self.views.get(leaf.name)
-        if stored_base is not None:
-            stored_base.absorb(delta)
-            self._invalidate(leaf.name)
+        if leaf.name in self.views:
+            self._write_view(leaf.name, delta)
 
         # 3. Propagate along the relation's leaf-to-root path.
         root_delta = self._propagate(leaf, delta)
@@ -682,11 +888,18 @@ class FIVMEngine:
         prev, node = start_child, start_child.parent
         cur = delta
         while node is not None:
+            active = self.partial.get(node.name)
+            if active is not None:
+                # Cold-key rows die here, before the node's probe program
+                # runs — the Noria write saving (see the module docstring).
+                cur = self._partial_prefilter(active, node, cur)
+                if cur.is_empty:
+                    root = self.tree.root
+                    return Relation(root.name, root.keys, self.query.ring)
             source: Source = ("child", self._child_pos[node.name][prev.name])
             cur = self._delta_at_node(node, source, cur)
             if self.flags[node.name] and not cur.is_empty:
-                self.views[node.name].absorb(cur)
-                self._invalidate(node.name)
+                cur = self._write_view(node.name, cur)
             if cur.is_empty and node is not self.tree.root:
                 root = self.tree.root
                 return Relation(root.name, root.keys, self.query.ring)
@@ -696,10 +909,15 @@ class FIVMEngine:
     def _propagate_from_indicator(
         self, host: ViewNode, ind_index: int, ind_delta: Relation
     ) -> Relation:
+        active = self.partial.get(host.name)
+        if active is not None:
+            ind_delta = self._partial_prefilter(active, host, ind_delta)
+            if ind_delta.is_empty:
+                root = self.tree.root
+                return Relation(root.name, root.keys, self.query.ring)
         cur = self._delta_at_node(host, ("ind", ind_index), ind_delta)
         if self.flags[host.name] and not cur.is_empty:
-            self.views[host.name].absorb(cur)
-            self._invalidate(host.name)
+            cur = self._write_view(host.name, cur)
         if cur.is_empty and host is not self.tree.root:
             root = self.tree.root
             return Relation(root.name, root.keys, self.query.ring)
@@ -769,16 +987,16 @@ class FIVMEngine:
             # fall back to the general trigger.
             return self.apply_update(update.flatten(leaf.keys, name=rel))
 
-        stored_base = self.views.get(leaf.name)
+        base_stored = leaf.name in self.views
         total = Relation(root.name, root.keys, self.query.ring)
         for term in update.terms:
-            if stored_base is not None:
-                stored_base.absorb(
+            if base_stored:
+                self._write_view(
+                    leaf.name,
                     FactorizedUpdate.rank_one(rel, term).flatten(
                         leaf.keys, name=rel
-                    )
+                    ),
                 )
-                self._invalidate(leaf.name)
             contribution = self._propagate_factored(leaf, list(term))
             total = total.union(contribution, name=root.name)
         return total
@@ -847,8 +1065,8 @@ class FIVMEngine:
                 if node_flat:
                     delta = Relation(node.name, node.keys, ring)
                     delta._data = node_flat
-                    self.views[node.name].absorb(delta)
-                    self._invalidate(node.name)
+                    delta = self._write_view(node.name, delta)
+                    node_flat = delta._data
                 flat_data = node_flat
             if any(not d for d in fdatas) and node is not self.tree.root:
                 return Relation(root.name, root.keys, ring)

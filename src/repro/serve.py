@@ -1,0 +1,205 @@
+"""The asyncio request-serving loop over a maintained engine.
+
+:mod:`repro.core.serving` gives point lookups a synchronous read path
+(:class:`ViewClient`); this module puts a request loop around it shaped
+like real traffic: **many concurrent reader tasks, one writer task**.
+Readers call :meth:`ViewServer.lookup` / :meth:`ViewServer.lookup_many`;
+writers submit update groups with :meth:`ViewServer.apply`, which
+enqueues them for the single writer task draining the queue through
+:meth:`FIVMEngine.apply_batch`.
+
+Consistency is an **epoch handoff** over a writer-preference
+reader/writer lock (:class:`EpochLock`): the writer applies each drained
+group of batches while holding the write side, then bumps the epoch on
+release.  A reader holds the read side across *all* the lookups of one
+request, so every value it reads comes from the same epoch — it can
+never observe a half-applied batch, even when its own cold keys trigger
+upqueries that recompute through views the batch would have touched.
+Because the event loop is cooperative, the engine itself never runs
+re-entrantly; the lock exists for *multi-lookup* requests and for the
+epoch bookkeeping the serving tests assert on.
+
+The writer prefers pending writers over new readers (readers queue
+behind a waiting writer), so a steady read stream cannot starve the
+write path — the freshness the north star's "heavy traffic" axis needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.serving import ViewClient
+
+__all__ = ["EpochLock", "ViewServer"]
+
+
+class EpochLock:
+    """Writer-preference asyncio reader/writer lock with an epoch counter.
+
+    Any number of readers share the lock; a writer holds it exclusively.
+    New readers queue behind a *waiting* writer (writer preference), and
+    :attr:`epoch` increments on every write release — the handoff point
+    readers use to tell batches apart.
+    """
+
+    def __init__(self) -> None:
+        #: Completed write epochs. A reader holding the read side sees a
+        #: frozen value; it changes only at write release.
+        self.epoch = 0
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._cond = asyncio.Condition()
+
+    @asynccontextmanager
+    async def read(self):
+        """Shared acquisition; yields the epoch the read runs in."""
+        async with self._cond:
+            while self._writer or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+            epoch = self.epoch
+        try:
+            yield epoch
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @asynccontextmanager
+    async def write(self):
+        """Exclusive acquisition; bumps :attr:`epoch` on release."""
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield self.epoch
+        finally:
+            async with self._cond:
+                self._writer = False
+                self.epoch += 1
+                self._cond.notify_all()
+
+
+class ViewServer:
+    """Many concurrent readers, one writer, over one maintained engine.
+
+    Start the writer task with :meth:`start` (or use the server as an
+    async context manager); submit update groups with :meth:`apply`;
+    read with :meth:`lookup` / :meth:`lookup_many`.  All reads of one
+    ``lookup_many`` call happen inside a single read-lock hold, so they
+    observe one epoch — the no-torn-reads guarantee the serving tests
+    lock down.
+    """
+
+    def __init__(self, engine, max_drain: int = 16):
+        self.engine = engine
+        self.client = ViewClient(engine)
+        self.lock = EpochLock()
+        #: Update groups the writer drains per write-lock hold (they all
+        #: commit in one epoch; queued submitters resolve together).
+        self.max_drain = max(1, max_drain)
+        self._queue: Optional[asyncio.Queue] = None
+        self._writer_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> "ViewServer":
+        """Spawn the single writer task (idempotent)."""
+        if self._writer_task is None:
+            self._queue = asyncio.Queue()
+            self._writer_task = asyncio.create_task(self._writer_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Wait out queued writes, then cancel the writer task."""
+        if self._writer_task is None:
+            return
+        await self._queue.join()
+        self._writer_task.cancel()
+        try:
+            await self._writer_task
+        except asyncio.CancelledError:
+            pass
+        self._writer_task = None
+        self._queue = None
+
+    async def __aenter__(self) -> "ViewServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- the read path --------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Completed write epochs (reads return the epoch they ran in)."""
+        return self.lock.epoch
+
+    async def lookup(self, view_name: str, key: Iterable):
+        """One point lookup under the read lock; returns the payload."""
+        async with self.lock.read():
+            return self.client.lookup(view_name, key)
+
+    async def lookup_many(
+        self, view_name: str, keys: Sequence[Iterable]
+    ) -> Tuple[List, int]:
+        """Point lookups under ONE read-lock hold.
+
+        Returns ``(payloads, epoch)``: every payload comes from the same
+        epoch — a concurrently submitted batch is either fully reflected
+        in all of them or in none.
+        """
+        async with self.lock.read() as epoch:
+            return self.client.lookup_many(view_name, keys), epoch
+
+    def stats(self, view_name: str) -> Dict[str, int]:
+        """Serving counters for one partial view (see ``ViewClient``)."""
+        return self.client.stats(view_name)
+
+    # -- the write path -------------------------------------------------
+
+    async def apply(self, deltas: Iterable):
+        """Submit one update group; resolves with its root delta once the
+        writer has committed it (and its epoch has been published)."""
+        if self._writer_task is None:
+            raise RuntimeError("ViewServer.start() has not been called")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((list(deltas), future))
+        return await future
+
+    async def _writer_loop(self) -> None:
+        queue = self._queue
+        while True:
+            groups = [await queue.get()]
+            while len(groups) < self.max_drain:
+                try:
+                    groups.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                async with self.lock.write():
+                    # apply_batch is synchronous: each group commits
+                    # atomically with respect to the event loop, and the
+                    # lock extends that atomicity over the whole drain.
+                    for items, future in groups:
+                        try:
+                            result = self.engine.apply_batch(items)
+                        except Exception as exc:  # engine rejected the group
+                            if not future.cancelled():
+                                future.set_exception(exc)
+                        else:
+                            if not future.cancelled():
+                                future.set_result(result)
+            finally:
+                for _ in groups:
+                    queue.task_done()

@@ -26,6 +26,20 @@ case — dropping events, then single keys inside deltas, while the failure
 persists — and fails with the minimal stream printed, ready to paste into a
 regression test.
 
+**Partial materialization** rides along as a served-key oracle: one
+partial-mode engine (eviction-sized active-set budget) per backend ×
+storage configuration replays the same stream, and after every event a
+random sample of keys is looked up through its :class:`ViewClient` and
+compared against the full primary engine's root view.  The sample mixes
+the three regimes partial mode can get silently wrong — never-served
+keys (cold: the lookup is an upquery), previously served keys (hot: the
+maintained entry answers, and must have absorbed every delta since
+registration), and evicted-then-re-served keys (the tiny budget keeps
+the LRU churning, so earlier-served keys routinely re-enter cold).  Root
+deltas of partial engines are *not* compared — dropping cold-key deltas
+is the feature — but every key ever served must equal the full engine's
+value at every later step, and again after the stream ends.
+
 ``FIVM_DIFF_STREAMS_PER_RING`` scales the stream count per ring family
 (default 40 → 200 streams total); the scheduled nightly CI job elevates it
 to 200 (1000 streams) to sweep a wider seed range than per-push CI can
@@ -36,7 +50,10 @@ for the view-storage dimension (``"dict"`` or ``"columnar"``): unset, every
 backend runs on both storages; set, the chosen storage runs with the dict
 reference alongside.  Either way the dict/interpreter engine is always in
 the pool, so every backend × storage combination is differentially held to
-the reference semantics on every stream.
+the reference semantics on every stream.  ``FIVM_MATERIALIZATION``
+narrows the materialization dimension the same way: ``"full"`` drops the
+partial riders, ``"partial"`` keeps them (the full engines always run —
+they are the oracle), unset runs both.
 """
 
 from __future__ import annotations
@@ -50,12 +67,14 @@ import numpy as np
 import pytest
 
 from repro.baselines.recursive import RecursiveIVM
+from repro.bench.memory import payload_scalars
 from repro.core import (
     FIVMEngine,
     FactorizedUpdate,
     Query,
     ShardedFIVMEngine,
     VariableOrder,
+    ViewClient,
 )
 from repro.data import Database, Relation
 from repro.rings import (
@@ -101,6 +120,17 @@ else:
     CONFIGS = tuple(
         (backend, storage) for backend in BACKENDS for storage in STORAGES
     )
+#: Materialization modes, narrowed by ``FIVM_MATERIALIZATION``: the full
+#: engines always run (they are the oracle every other mode is held to);
+#: ``"partial"`` in the set adds one partial-mode rider per CONFIGS entry,
+#: checked key-by-key through the served-key sampler after every event.
+_ENV_MATERIALIZATION = os.environ.get("FIVM_MATERIALIZATION", "").strip()
+if _ENV_MATERIALIZATION:
+    MATERIALIZATIONS = tuple(
+        dict.fromkeys((_ENV_MATERIALIZATION, "full"))
+    )
+else:
+    MATERIALIZATIONS = ("full", "partial")
 #: Streams per ring family; the nightly CI job raises this via the
 #: environment (FIVM_DIFF_STREAMS_PER_RING=200 → 1000 streams) while
 #: per-push runs keep the fast default.
@@ -315,6 +345,23 @@ def run_case(case: dict, ring_family) -> Optional[str]:
         )
         for backend, storage in CONFIGS
     }
+    # Partial-materialization riders: the same backend × storage pool in
+    # ``materialization="partial"`` mode, under an eviction-sized budget
+    # (roughly three root entries at COUNT-payload cost) so the LRU churns
+    # and re-served keys routinely take the upquery path.  They replay the
+    # same stream and are held to the full primary engine key-by-key via
+    # the served-key sampler below.
+    partial_clients: Dict[str, ViewClient] = {}
+    if "partial" in MATERIALIZATIONS:
+        budget = 3 * (1 + payload_scalars(ring.from_int(1)))
+        for backend, storage in CONFIGS:
+            partial_clients[f"partial/{backend}/{storage}"] = ViewClient(
+                FIVMEngine(
+                    make_query(f"p_{backend}_{storage}"), order,
+                    backend=backend, storage=storage,
+                    materialization="partial", partial_budget=budget,
+                )
+            )
     # The sharded engine inherits the primary backend; its shards run on
     # columnar storage whenever columnar is in the pool, so the sharded
     # wire protocol is exercised against array-native fragments too.
@@ -335,6 +382,38 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             return None
         return recursive.apply_update(delta.copy())
 
+    # -- served-key sampling (the partial-mode oracle) ------------------
+    # After every event each partial rider serves a sample mixing cold
+    # keys (never served → upquery), hot keys (still registered), and
+    # previously served keys the tiny budget has since evicted; each must
+    # equal the full primary engine's root payload.  ``served`` is the
+    # rolling history the hot/evicted picks resample from.
+    root_name = engines[primary].tree.root.name
+    root_keys = engines[primary].tree.root.keys
+    serve_rng = random.Random(case["seed"] ^ 0x5E12)
+    served: List[tuple] = []
+    served_set = set()
+
+    def check_served(step: int) -> Optional[str]:
+        if not partial_clients:
+            return None
+        oracle = engines[primary].views[root_name]
+        picks = list(serve_rng.sample(served, min(2, len(served))))
+        existing = list(oracle.keys())
+        if existing:
+            picks.append(serve_rng.choice(existing))
+        picks.append(tuple(serve_rng.randint(0, 2) for _ in root_keys))
+        for name, client in partial_clients.items():
+            for key in picks:
+                got = client.lookup(root_name, key)
+                if not ring.eq(got, oracle.payload(key)):
+                    return f"step {step}: served key {key}: full != {name}"
+        for key in picks:
+            if key not in served_set:
+                served_set.add(key)
+                served.append(key)
+        return None
+
     for step, event in enumerate(case["events"]):
         kind = event["kind"]
         rec_total: Optional[Relation] = None
@@ -347,6 +426,8 @@ def run_case(case: dict, ring_family) -> Optional[str]:
 
             for name, engine in engines.items():
                 roots[name] = engine.apply_update(fresh())
+            for client in partial_clients.values():
+                client.engine.apply_update(fresh())
             roots["sharded"] = sharded.apply_update(fresh())
             rec_total = recursive_apply(fresh())
             db.apply_update(fresh())
@@ -381,6 +462,8 @@ def run_case(case: dict, ring_family) -> Optional[str]:
 
             for name, engine in engines.items():
                 roots[name] = engine.apply_batch(build_items())
+            for client in partial_clients.values():
+                client.engine.apply_batch(build_items())
             roots["sharded"] = sharded.apply_batch(build_items())
             for flat in build_flats():
                 contribution = recursive_apply(flat)
@@ -396,6 +479,10 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             rel = event["rel"]
             for name, engine in engines.items():
                 roots[name] = engine.apply_factorized_update(
+                    _as_factorized(rel, ring, event["terms"])
+                )
+            for client in partial_clients.values():
+                client.engine.apply_factorized_update(
                     _as_factorized(rel, ring, event["terms"])
                 )
             roots["sharded"] = sharded.apply_factorized_update(
@@ -416,6 +503,8 @@ def run_case(case: dict, ring_family) -> Optional[str]:
 
             for name, engine in engines.items():
                 roots[name] = engine.apply_decomposed_update(fresh())
+            for client in partial_clients.values():
+                client.engine.apply_decomposed_update(fresh())
             roots["sharded"] = sharded.apply_decomposed_update(fresh())
             rec_total = recursive_apply(fresh())
             db.apply_update(fresh())
@@ -434,6 +523,9 @@ def run_case(case: dict, ring_family) -> Optional[str]:
             rec_cmp = rec_total.reorder(base.schema, name=base.name)
             if not base.same_as(rec_cmp):
                 return f"step {step} ({kind}): {primary} root delta != recursive"
+        failure = check_served(step)
+        if failure:
+            return failure
 
     primary_engine = engines[primary]
     for name, engine in engines.items():
@@ -461,6 +553,13 @@ def run_case(case: dict, ring_family) -> Optional[str]:
     )
     if not primary_engine.result().same_as(expected):
         return "final result: primary != from-scratch recomputation"
+    # Every key ever served must still equal the full engine's value —
+    # including keys the partial riders have long since evicted.
+    oracle = primary_engine.views[root_name]
+    for name, client in partial_clients.items():
+        for key in served:
+            if not ring.eq(client.lookup(root_name, key), oracle.payload(key)):
+                return f"final served key {key}: full != {name}"
     return None
 
 
