@@ -74,6 +74,10 @@ METRICS = {
     "BENCH_serving_latency.json": [
         (("speedup",), "ratio", False),
     ],
+    "BENCH_recovery.json": [
+        (("speedup",), "ratio", False),
+        (("ok",), "flag", False),
+    ],
 }
 
 

@@ -5,6 +5,12 @@ from repro.core.analysis import (
     is_q_hierarchical,
     update_cost_sketch,
 )
+from repro.core.checkpoint import (
+    JournaledFIVMEngine,
+    UpdateJournal,
+    restore_snapshot,
+    take_snapshot,
+)
 from repro.core.engine import (
     BACKENDS,
     MATERIALIZATIONS,
@@ -12,6 +18,7 @@ from repro.core.engine import (
     FIVMEngine,
 )
 from repro.core.factorized_update import FactorizedUpdate, decompose
+from repro.core.faults import FaultPlan, InjectedCrash, InjectedFault
 from repro.core.hypergraph import (
     connected_components,
     gyo_residual,
@@ -40,6 +47,13 @@ __all__ = [
     "upquery",
     "ShardedFIVMEngine",
     "stable_hash",
+    "JournaledFIVMEngine",
+    "UpdateJournal",
+    "take_snapshot",
+    "restore_snapshot",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
     "is_hierarchical",
     "is_q_hierarchical",
     "update_cost_sketch",

@@ -290,8 +290,14 @@ class FIVMEngine:
         materialization: Optional[str] = None,
         partial_budget: Optional[int] = None,
         program_library: Optional[ProgramLibrary] = None,
+        faults=None,
     ):
         self.query = query
+        #: Optional :class:`repro.core.faults.FaultPlan`; when set, the
+        #: engine announces the ``engine.write_view`` site on every
+        #: materialized-view write (the fault-injection hook the
+        #: robustness tests use — ``None`` costs one attribute check).
+        self._faults = faults
         #: Optional cross-engine cache of generated trigger code.  The
         #: sharding layer hands one library to all of its in-process shard
         #: engines so isomorphic triggers are generated once and only
@@ -582,6 +588,8 @@ class FIVMEngine:
         unless the partial filter trimmed it), so propagation loops can
         keep threading the surviving entries upward.
         """
+        if self._faults is not None:
+            self._faults.fire("engine.write_view")
         active = self.partial.get(view_name)
         if active is not None:
             delta = self._partial_filter(active, delta)
@@ -717,6 +725,30 @@ class FIVMEngine:
             return contents
 
         evaluate(self.tree.root)
+
+    # ------------------------------------------------------------------
+    # Durability (see :mod:`repro.core.checkpoint`)
+    # ------------------------------------------------------------------
+
+    def snapshot(self, seq: Optional[int] = None) -> dict:
+        """A portable snapshot of the maintained state (every view as a
+        plain dict — both storages — plus indicator counts and partial
+        active sets), tagged with journal sequence number ``seq``.
+        Restore it into a fresh engine of the same configuration with
+        :meth:`restore`; recovery is then snapshot + journal-tail replay
+        through :meth:`apply_batch` instead of an :meth:`initialize`
+        recompute."""
+        from repro.core.checkpoint import take_snapshot
+
+        return take_snapshot(self, seq=seq)
+
+    def restore(self, snapshot: dict) -> None:
+        """Load a :meth:`snapshot` back into this engine (must maintain
+        the same views over the same schemas); secondary indexes rebuild
+        through the normal absorb path and the probe cache is dropped."""
+        from repro.core.checkpoint import restore_snapshot
+
+        restore_snapshot(self, snapshot)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,218 @@
+"""Deterministic fault injection for the fault-tolerance test surface.
+
+Production failure modes — a shard worker segfaulting mid-request, a
+pipe stalling, a writer task dying with queued clients — are
+environmental, so they never show up in deterministic unit tests unless
+something *plants* them.  A :class:`FaultPlan` is that something: a
+schedule of ``(site, hit, action)`` triples, where a **site** is a named
+choke point the runtime code announces by calling :meth:`FaultPlan.fire`
+(see :data:`SITES`), **hit** is the 1-based count of that site's firings
+within one process, and **action** is what happens when the counter
+matches:
+
+* ``"crash"`` — the process dies (``os._exit``) when
+  :attr:`FaultPlan.crash_action` is ``"exit"`` (installed by shard
+  workers), or an :class:`InjectedCrash` propagates when it is
+  ``"raise"`` (the in-process analog: an asyncio writer task dying);
+* ``"hang"`` — the call sleeps :attr:`FaultPlan.hang_seconds`, long
+  enough to trip any recv deadline watching it (a stuck worker);
+* ``"error"`` — an :class:`InjectedFault` is raised at the site (a
+  transient environmental error).
+
+Plans are plain data: deterministic (no wall clock, no global state),
+picklable (they ride into forked shard workers), and seedable —
+:meth:`FaultPlan.seeded` draws a reproducible schedule from a seed, which
+is how the crash-recovery differential oracle generates thousands of
+distinct failure interleavings from one integer
+(``tests/core/test_crash_recovery.py``, scaled by ``FIVM_FAULTS``).
+
+Hit counters live on the plan instance, so a plan object is *per
+process*: the supervisor hands each forked worker its own plan, and a
+worker restarted after a fault runs fault-free (the environmental event
+happened; deterministic replay of the recovery path must not re-plant
+it).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "ACTIONS",
+    "SITES",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "plans_from_env",
+]
+
+#: The named fault sites the runtime announces.  Worker sites fire inside
+#: forked shard workers (:mod:`repro.core.sharded`); the writer site fires
+#: in the :class:`repro.serve.ViewServer` writer task; the engine site
+#: fires in :meth:`repro.core.engine.FIVMEngine._write_view`.
+SITES = (
+    "worker.recv",        # after a request leaves the pipe, before dispatch
+    "worker.pre_apply",   # before a state-mutating request is applied
+    "worker.post_apply",  # applied but not yet acked — the dangerous window
+    "worker.send",        # before the reply enters the pipe
+    "writer.loop",        # the ViewServer writer task, per drained group
+    "engine.write_view",  # the engine's single view-write choke point
+)
+
+#: Actions a scheduled fault can take (see the module docstring).
+ACTIONS = ("crash", "hang", "error")
+
+#: Worker-process sites, the pool :meth:`FaultPlan.seeded` draws from by
+#: default (the crash-recovery oracle targets shard workers).
+WORKER_SITES = tuple(s for s in SITES if s.startswith("worker."))
+
+
+class InjectedFault(RuntimeError):
+    """A planted transient error (the ``"error"`` action)."""
+
+
+class InjectedCrash(RuntimeError):
+    """A planted process death, surfaced as an exception because the
+    context cannot ``os._exit`` (e.g. an asyncio writer task)."""
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over named sites.
+
+    ``rules`` maps a site name to ``{hit: action}`` — the action fires
+    when the site's per-plan hit counter reaches ``hit`` (1-based).  The
+    plan is inert for every other call: :meth:`fire` costs one dict
+    lookup, so announcing a site in production code is free when no plan
+    is installed.
+    """
+
+    __slots__ = ("rules", "hang_seconds", "crash_action", "exit_code",
+                 "_hits", "fired")
+
+    def __init__(
+        self,
+        rules: Dict[str, Dict[int, str]],
+        hang_seconds: float = 60.0,
+        crash_action: str = "raise",
+        exit_code: int = 70,
+    ):
+        checked: Dict[str, Dict[int, str]] = {}
+        for site, schedule in rules.items():
+            if site not in SITES:
+                raise ValueError(f"unknown fault site {site!r}; see SITES")
+            for hit, action in schedule.items():
+                if action not in ACTIONS:
+                    raise ValueError(
+                        f"unknown fault action {action!r}; see ACTIONS"
+                    )
+                if int(hit) < 1:
+                    raise ValueError("fault hits are 1-based")
+            checked[site] = {int(h): a for h, a in schedule.items()}
+        self.rules = checked
+        #: How long a ``"hang"`` blocks the site — pick it longer than the
+        #: recv deadline watching the site, so the hang reads as a stuck
+        #: worker rather than a slow one.
+        self.hang_seconds = float(hang_seconds)
+        #: ``"exit"`` (process dies, installed by shard workers) or
+        #: ``"raise"`` (an :class:`InjectedCrash` propagates).
+        self.crash_action = crash_action
+        self.exit_code = int(exit_code)
+        self._hits: Dict[str, int] = {}
+        #: ``(site, hit, action)`` triples that have fired in this
+        #: process — the observability hook tests assert on.
+        self.fired: list = []
+
+    def fire(self, site: str) -> None:
+        """Announce one pass through ``site``; act if one is scheduled."""
+        hit = self._hits.get(site, 0) + 1
+        self._hits[site] = hit
+        action = self.rules.get(site, {}).get(hit)
+        if action is None:
+            return
+        self.fired.append((site, hit, action))
+        if action == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        if action == "crash":
+            if self.crash_action == "exit":
+                os._exit(self.exit_code)
+            raise InjectedCrash(f"injected crash at {site} (hit {hit})")
+        raise InjectedFault(f"injected error at {site} (hit {hit})")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        sites: Sequence[str] = WORKER_SITES,
+        events: int = 2,
+        horizon: int = 12,
+        actions: Sequence[str] = ACTIONS,
+        hang_seconds: float = 60.0,
+    ) -> "FaultPlan":
+        """A reproducible random schedule: ``events`` faults drawn over
+        ``sites`` at hits in ``[1, horizon]``.  Same seed, same plan —
+        the replayability the differential oracle needs."""
+        rng = random.Random(seed)
+        rules: Dict[str, Dict[int, str]] = {}
+        for _ in range(events):
+            site = rng.choice(list(sites))
+            hit = rng.randint(1, horizon)
+            rules.setdefault(site, {})[hit] = rng.choice(list(actions))
+        return cls(rules, hang_seconds=hang_seconds)
+
+    @classmethod
+    def parse(cls, spec: str, hang_seconds: float = 60.0) -> "FaultPlan":
+        """Parse an explicit plan spec: ``site@hit=action[;...]``.
+
+        The hand-written form for pinning one fault in a repro, e.g.
+        ``worker.post_apply@2=crash;worker.recv@5=hang``.
+        """
+        rules: Dict[str, Dict[int, str]] = {}
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            left, _, action = clause.partition("=")
+            site, _, hit = left.partition("@")
+            if not action or not hit:
+                raise ValueError(
+                    f"bad fault clause {clause!r}; expected site@hit=action"
+                )
+            rules.setdefault(site.strip(), {})[int(hit)] = action.strip()
+        return cls(rules, hang_seconds=hang_seconds)
+
+
+def plans_from_env(
+    default_count: int = 2,
+    env: str = "FIVM_FAULTS",
+    base_seed: int = 0xFA17,
+    **seeded_kwargs,
+):
+    """The seeded plans the CI fault-injection step runs.
+
+    ``FIVM_FAULTS`` is either an integer — *n* seeded plans per caller
+    (the tier-1 step runs a few, the nightly sweep many; seeds are
+    ``base_seed + i``, so a larger count covers a superset) — or an
+    explicit ``site@hit=action`` spec for pinning one failure.  Returns
+    ``[(label, plan_factory)]``: factories, not plans, because hit
+    counters are per process and each run needs a fresh instance.
+    """
+    raw = os.environ.get(env, "").strip()
+    if raw and not raw.isdigit():
+        return [("spec", lambda: FaultPlan.parse(raw, **seeded_kwargs))]
+    count = int(raw) if raw else default_count
+
+    def make_factory(seed: int):
+        return lambda: FaultPlan.seeded(seed, **seeded_kwargs)
+
+    return [
+        (f"seed{base_seed + i}", make_factory(base_seed + i))
+        for i in range(count)
+    ]

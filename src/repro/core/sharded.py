@@ -42,15 +42,48 @@ falls back to inline elsewhere): deltas are routed in the coordinator,
 shipped as plain ``(name, schema, {key: payload})`` triples, and the
 per-shard root deltas come back the same way — true parallel maintenance
 on multi-core hosts, measured by ``benchmarks/test_fig_shard_scaling.py``.
+
+Fault tolerance (process executor)
+----------------------------------
+
+Forked workers die and hang; the coordinator survives both.  Every
+request crosses the pipe under a coordinator-assigned **sequence
+number**, every state-mutating request is journaled (packed, in the
+:mod:`repro.core.checkpoint` wire format) before it is sent, and workers
+ack the sequence number they applied.  Replies are awaited under a
+deadline (``recv_timeout`` / ``FIVM_SHARD_TIMEOUT``); a missed deadline,
+a dead pipe, or an injected fault hands the shard to the **supervisor**,
+which forks a fresh worker and rebuilds its state as shard snapshot +
+journal-tail replay — the same cheap incremental path the paper uses for
+maintenance, here used for recovery.  The restarted worker's state is a
+fresh lineage (snapshot + replay), and a live worker deduplicates
+retried sequence numbers, so each update group lands exactly once even
+when the crash hit the applied-but-not-acked window.  Periodic
+checkpoints (``checkpoint_every``) snapshot each worker and truncate its
+journal, bounding both coordinator memory and replay length.
+Deterministic failures are planted with :class:`repro.core.faults.
+FaultPlan` via the ``faults=`` knob; ``tests/core/test_crash_recovery.py``
+drives this as a differential oracle against a fault-free engine.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import traceback
 import zlib
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.checkpoint import (
+    UpdateJournal,
+    pack_item,
+    pack_relation,
+    plain_data as _plain_data,
+    restore_snapshot,
+    take_snapshot,
+    unpack_item,
+    unpack_relation as _unpack_relation,
+)
 from repro.core.engine import (
     FIVMEngine,
     check_delta,
@@ -59,6 +92,7 @@ from repro.core.engine import (
     resolve_storage,
 )
 from repro.core.factorized_update import FactorizedUpdate, decompose
+from repro.core.faults import InjectedFault
 from repro.core.materialization import materialization_flags
 from repro.core.plan_exec import ProgramLibrary
 from repro.core.query import Query
@@ -92,81 +126,40 @@ def stable_hash(value) -> int:
 
 
 # ----------------------------------------------------------------------
-# Wire format (process executor): relations as plain picklable triples
+# Wire format (process executor): relations as plain picklable triples,
+# shared with the journal/snapshot format of repro.core.checkpoint
 # ----------------------------------------------------------------------
 
-
-def _plain_data(data) -> dict:
-    """Materialize a relation's primary map as a plain dict (columnar
-    relations expose a facade; the wire format and cross-shard merges
-    want real dicts)."""
-    return data if isinstance(data, dict) else dict(data)
+#: Request kinds the coordinator journals for recovery replay (the
+#: state-mutating shard-facade surface).  ``restore`` also mutates worker
+#: state but is itself the recovery mechanism and is never journaled.
+_MUTATING = frozenset({"update", "factorized", "batch", "init"})
 
 
-def _pack_relation(relation: Relation) -> tuple:
-    return (relation.name, relation.schema, _plain_data(relation._data))
-
-
-def _unpack_relation(packed: tuple, ring) -> Relation:
-    name, schema, data = packed
-    out = Relation(name, schema, ring)
-    out._data = data if isinstance(data, dict) else dict(data)
-    return out
-
-
-def _pack_factorized(update: FactorizedUpdate) -> tuple:
-    return (
-        update.relation,
-        [[_pack_relation(factor) for factor in term] for term in update.terms],
-    )
-
-
-def _unpack_factorized(packed: tuple, ring) -> FactorizedUpdate:
-    relation, terms = packed
-    return FactorizedUpdate(
-        relation,
-        [[_unpack_relation(factor, ring) for factor in term] for term in terms],
-        ring=ring,
-    )
-
-
-def _pack_request(request: tuple) -> tuple:
+def _pack_request(request: tuple, copy: bool = False) -> tuple:
+    """Live-object request → picklable wire message.  ``copy=True``
+    detaches the payload dicts (journaled requests outlive the deltas
+    they recorded)."""
     kind = request[0]
-    if kind == "update":
-        return ("update", _pack_relation(request[1]))
-    if kind == "factorized":
-        return ("factorized", _pack_factorized(request[1]))
+    if kind in ("update", "factorized"):
+        return pack_item(request[1], copy=copy)
     if kind == "batch":
-        packed: List[tuple] = []
-        for item in request[1]:
-            if isinstance(item, FactorizedUpdate):
-                packed.append(("factorized", _pack_factorized(item)))
-            else:
-                packed.append(("update", _pack_relation(item)))
-        return ("batch", packed)
+        return ("batch", [pack_item(item, copy=copy) for item in request[1]])
     if kind == "init":
-        return ("init", [_pack_relation(rel) for rel in request[1]])
-    return request  # "view", "views", "sizes", "scalars", "stop"
+        return ("init", [pack_relation(rel, copy=copy) for rel in request[1]])
+    return request  # "view", "views", "sizes", "scalars", "snapshot", "stop"
 
 
 def _unpack_request(msg: tuple, ring) -> tuple:
     """Wire message → live-object request (inverse of :func:`_pack_request`)."""
     kind = msg[0]
-    if kind == "update":
-        return ("update", _unpack_relation(msg[1], ring))
-    if kind == "factorized":
-        return ("factorized", _unpack_factorized(msg[1], ring))
+    if kind in ("update", "factorized"):
+        return (kind, unpack_item(msg, ring))
     if kind == "batch":
-        items: List[object] = []
-        for tag, payload in msg[1]:
-            if tag == "factorized":
-                items.append(_unpack_factorized(payload, ring))
-            else:
-                items.append(_unpack_relation(payload, ring))
-        return ("batch", items)
+        return ("batch", [unpack_item(p, ring) for p in msg[1]])
     if kind == "init":
         return ("init", [_unpack_relation(p, ring) for p in msg[1]])
-    return msg  # "view", "views", "sizes", "scalars", "stop"
+    return msg  # "view", "views", "sizes", "scalars", "snapshot", "restore", "stop"
 
 
 def _dispatch(engine: FIVMEngine, request: tuple):
@@ -202,27 +195,78 @@ def _dispatch(engine: FIVMEngine, request: tuple):
         from repro.bench.memory import strategy_scalars
 
         return strategy_scalars(engine)
+    if kind == "snapshot":
+        return take_snapshot(engine)
+    if kind == "restore":
+        restore_snapshot(engine, request[1])
+        return None
     if kind == "stop":
         return None
     raise ValueError(f"unknown shard request {kind!r}")
 
 
-def _shard_worker(conn, factory: Callable[[], FIVMEngine]) -> None:
-    """Worker loop: build the shard engine, then serve until ``stop``/EOF."""
+def _shard_worker(conn, factory: Callable[[], FIVMEngine], faults=None) -> None:
+    """Worker loop: build the shard engine, then serve until ``stop``/EOF.
+
+    Messages arrive as ``(seq, request)`` and are answered with
+    ``(tag, seq, payload)`` where ``tag`` is ``"ok"``, ``"error"`` (an
+    application error; the worker keeps serving), or ``"fault"`` (an
+    injected environmental error; the worker dies so the supervisor
+    recovers it like the transient failure it models).  The worker acks
+    the last *applied* sequence number implicitly: a retried mutating
+    request with ``seq <= last_applied`` is acked from the reply cache
+    without re-applying — the exactly-once half of at-least-once
+    delivery.
+
+    ``faults`` is an optional :class:`repro.core.faults.FaultPlan` (or a
+    zero-argument factory of one); its ``crash`` action is forced to
+    ``os._exit`` here, because a worker crash *is* a process death.
+    """
+    plan = faults() if callable(faults) else faults
+    if plan is not None:
+        plan.crash_action = "exit"
     engine = factory()
     ring = engine.query.ring
+    last_applied = 0
+    cached_reply = (0, None)  # (seq, payload) of the last applied group
     while True:
         try:
-            msg = conn.recv()
+            seq, msg = conn.recv()
         except EOFError:
             break
+        kind = msg[0]
+        mutating = kind in _MUTATING or kind == "restore"
         try:
-            reply = _dispatch(engine, _unpack_request(msg, ring))
-        except BaseException as exc:  # report, keep serving
-            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+            if plan is not None:
+                plan.fire("worker.recv")
+            if mutating and seq <= last_applied:
+                payload = cached_reply[1] if cached_reply[0] == seq else None
+                reply = ("ok", seq, payload)
+            else:
+                if plan is not None and mutating:
+                    plan.fire("worker.pre_apply")
+                result = _dispatch(engine, _unpack_request(msg, ring))
+                if plan is not None and mutating:
+                    plan.fire("worker.post_apply")
+                if mutating:
+                    last_applied = seq
+                    cached_reply = (seq, result)
+                reply = ("ok", seq, result)
+            if plan is not None:
+                plan.fire("worker.send")
+        except InjectedFault as exc:
+            # A planted transient error: report it and die, so the
+            # supervisor heals this shard exactly as for a crash.
+            try:
+                conn.send(("fault", seq, repr(exc)))
+            finally:
+                conn.close()
+            return
+        except BaseException as exc:  # application error: report, keep serving
+            conn.send(("error", seq, f"{exc!r}\n{traceback.format_exc()}"))
             continue
-        conn.send(("ok", reply))
-        if msg[0] == "stop":
+        conn.send(reply)
+        if kind == "stop":
             break
     conn.close()
 
@@ -254,56 +298,275 @@ class _InlineShards:
         pass
 
 
+#: Default reply deadline (seconds) for process-shard workers; override
+#: per engine with ``recv_timeout=`` or globally with the
+#: ``FIVM_SHARD_TIMEOUT`` environment variable.  ``<= 0`` disables the
+#: deadline (wait forever — the pre-supervision behaviour).
+DEFAULT_SHARD_TIMEOUT = 30.0
+
+
+def _shard_timeout() -> Optional[float]:
+    raw = os.environ.get("FIVM_SHARD_TIMEOUT", "").strip()
+    timeout = float(raw) if raw else DEFAULT_SHARD_TIMEOUT
+    return timeout if timeout > 0 else None
+
+
 class _ProcessShards:
-    """One forked worker per shard, driven over pipes.
+    """One forked worker per shard, driven over pipes, supervised.
 
     Requests for an operation are sent to every involved worker first and
     the replies collected afterwards, so the workers compute in parallel
     while the coordinator blocks only on the slowest one.
+
+    The coordinator keeps, per shard, everything recovery needs: a
+    :class:`UpdateJournal` of the packed mutating requests since the last
+    checkpoint, the latest checkpoint snapshot (taken in the worker,
+    shipped back, truncating the journal), and the last applied sequence
+    number.  When a worker dies (EOF/broken pipe), hangs past
+    ``recv_timeout``, or reports an injected fault, :meth:`_recover`
+    terminates it, forks a fresh worker *without* the fault plan (the
+    environmental event already happened; recovery must not re-plant
+    it), restores the shard snapshot, replays the journal tail, and
+    returns the in-flight request's reply — callers never see the
+    failure.  With ``supervise=False`` the same detection paths raise an
+    error naming the failed shard instead.
     """
 
     kind = "process"
 
-    def __init__(self, factories: Sequence[Callable[[], FIVMEngine]]):
-        ctx = multiprocessing.get_context("fork")
-        self._conns = []
-        self._procs = []
-        for factory in factories:
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker, args=(child_conn, factory), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+    def __init__(
+        self,
+        factories: Sequence[Callable[[], FIVMEngine]],
+        recv_timeout: Optional[float] = None,
+        supervise: bool = True,
+        checkpoint_every: Optional[int] = 64,
+        max_restarts: int = 3,
+        faults=None,
+    ):
+        if recv_timeout is None:
+            recv_timeout = _shard_timeout()
+        elif recv_timeout <= 0:
+            recv_timeout = None
+        self.recv_timeout = recv_timeout
+        self.supervise = supervise
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
+        self._faults = faults
+        self._factories = list(factories)
+        self._ctx = multiprocessing.get_context("fork")
+        count = len(self._factories)
+        self._conns: List[object] = [None] * count
+        self._procs: List[object] = [None] * count
+        self._seq = 0
+        self._journals = [UpdateJournal() for _ in range(count)]
+        self._snapshots: List[Optional[Tuple[int, dict]]] = [None] * count
+        self._applied = [0] * count
+        #: Per-shard supervisor restart counts (the liveness telemetry
+        #: tests and operators read).
+        self.restarts = [0] * count
+        for shard in range(count):
+            self._spawn(shard, self._fault_arg(shard))
+
+    # -- lifecycle of one worker ----------------------------------------
+
+    def _fault_arg(self, shard: int):
+        if isinstance(self._faults, dict):
+            return self._faults.get(shard)
+        return self._faults
+
+    def _spawn(self, shard: int, faults) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, self._factories[shard], faults),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[shard] = parent_conn
+        self._procs[shard] = proc
+
+    def _reap(self, shard: int) -> None:
+        """Tear down a failed worker (best effort; it may already be dead)."""
+        try:
+            self._conns[shard].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=2.0)
+
+    # -- the request protocol -------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
 
     def run(self, requests: Dict[int, tuple]) -> Dict[int, object]:
-        for shard, request in requests.items():
-            try:
-                self._conns[shard].send(_pack_request(request))
-            except (BrokenPipeError, OSError) as exc:
-                raise RuntimeError(
-                    f"shard worker {shard} is gone ({exc!r}); the sharded "
-                    "engine cannot continue"
-                ) from exc
+        pending: Dict[int, Tuple[int, tuple]] = {}
         replies: Dict[int, object] = {}
-        for shard in requests:
+        for shard, request in requests.items():
+            packed = _pack_request(request, copy=True)
+            seq = self._next_seq()
+            if packed[0] == "init":
+                # the journal describes updates since an initialize,
+                # never across one
+                self._journals[shard].clear()
+                self._snapshots[shard] = None
+            if packed[0] in _MUTATING:
+                self._journals[shard].append(seq, packed)
             try:
-                tag, payload = self._conns[shard].recv()
-            except EOFError as exc:
+                self._conns[shard].send((seq, packed))
+                pending[shard] = (seq, packed)
+            except (BrokenPipeError, OSError) as exc:
+                replies[shard] = self._recover(
+                    shard, seq, packed, reason=f"send failed ({exc!r})"
+                )
+        for shard, (seq, packed) in pending.items():
+            replies[shard] = self._await_reply(shard, seq, packed)
+        for shard in requests:
+            self._maybe_checkpoint(shard)
+        return replies
+
+    def _await_reply(self, shard: int, seq: int, packed: tuple):
+        conn = self._conns[shard]
+        timeout = self.recv_timeout
+        if timeout is not None and not conn.poll(timeout):
+            return self._recover(
+                shard, seq, packed,
+                reason=(
+                    f"no reply within {timeout}s — dead or hung worker; "
+                    "raise FIVM_SHARD_TIMEOUT if it is merely slow"
+                ),
+            )
+        try:
+            tag, rseq, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            return self._recover(
+                shard, seq, packed, reason=f"worker died mid-request ({exc!r})"
+            )
+        if tag == "fault":
+            return self._recover(
+                shard, seq, packed, reason=f"injected fault: {payload}"
+            )
+        if tag == "error":
+            raise RuntimeError(f"shard {shard} failed:\n{payload}")
+        if packed[0] in _MUTATING:
+            self._applied[shard] = max(self._applied[shard], seq)
+        return payload
+
+    # -- supervision ----------------------------------------------------
+
+    def _recover(self, shard: int, seq: int, packed: tuple, reason: str):
+        """Heal ``shard`` after a failure and answer its in-flight request.
+
+        Fresh worker, restored snapshot, journal-tail replay; the
+        in-flight request is either part of the tail (mutating — its
+        replay reply is the answer) or re-sent afterwards (read-only).
+        """
+        if not self.supervise:
+            raise RuntimeError(
+                f"shard worker {shard} failed ({reason}); supervision is "
+                "disabled, so the sharded engine cannot continue"
+            )
+        self.restarts[shard] += 1
+        if self.restarts[shard] > self.max_restarts:
+            raise RuntimeError(
+                f"shard worker {shard} failed ({reason}) after exhausting "
+                f"its restart budget ({self.max_restarts})"
+            )
+        self._reap(shard)
+        # The restarted worker runs fault-free: the environmental event
+        # happened; deterministic replay must not re-plant it.
+        self._spawn(shard, None)
+        base_seq = 0
+        if self._snapshots[shard] is not None:
+            base_seq, snap = self._snapshots[shard]
+            tag, payload = self._replay_exchange(
+                shard, base_seq, ("restore", snap)
+            )
+            if tag != "ok":
                 raise RuntimeError(
-                    f"shard worker {shard} died mid-request"
-                ) from exc
+                    f"shard worker {shard} failed to restore its "
+                    f"snapshot:\n{payload}"
+                )
+        result = None
+        answered = False
+        for jseq, jpacked in self._journals[shard].tail(base_seq):
+            tag, payload = self._replay_exchange(shard, jseq, jpacked)
+            if tag == "error":
+                if jseq == seq:
+                    # the in-flight group itself fails; surface it exactly
+                    # as the original send would have
+                    raise RuntimeError(f"shard {shard} failed:\n{payload}")
+                # this group failed identically when first applied — the
+                # state evolution matches; keep replaying
+                continue
+            self._applied[shard] = max(self._applied[shard], jseq)
+            if jseq == seq:
+                answered = True
+                result = payload
+        if not answered:
+            # the in-flight request was read-only (view/sizes/snapshot/…)
+            tag, payload = self._replay_exchange(shard, seq, packed)
             if tag == "error":
                 raise RuntimeError(f"shard {shard} failed:\n{payload}")
-            replies[shard] = payload
-        return replies
+            result = payload
+        return result
+
+    def _replay_exchange(self, shard: int, seq: int, packed: tuple):
+        """One request to a freshly restarted worker.  Failures here mean
+        recovery itself failed and are fatal (the worker is fault-free,
+        so they indicate a real bug or a dead host)."""
+        conn = self._conns[shard]
+        try:
+            conn.send((seq, packed))
+        except (BrokenPipeError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker {shard} died again during recovery ({exc!r})"
+            ) from exc
+        timeout = self.recv_timeout
+        if timeout is not None and not conn.poll(timeout):
+            raise RuntimeError(
+                f"shard worker {shard} hung during recovery replay "
+                f"(no reply within {timeout}s)"
+            )
+        try:
+            tag, _rseq, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker {shard} died again during recovery"
+            ) from exc
+        return tag, payload
+
+    # -- checkpointing --------------------------------------------------
+
+    def _maybe_checkpoint(self, shard: int) -> None:
+        """Snapshot ``shard``'s worker once its journal is long enough,
+        and truncate the journal through the snapshot's sequence number."""
+        if self.checkpoint_every is None:
+            return
+        if len(self._journals[shard]) < self.checkpoint_every:
+            return
+        seq = self._next_seq()
+        packed = ("snapshot",)
+        try:
+            self._conns[shard].send((seq, packed))
+            snap = self._await_reply(shard, seq, packed)
+        except (BrokenPipeError, OSError) as exc:
+            snap = self._recover(
+                shard, seq, packed, reason=f"send failed ({exc!r})"
+            )
+        # The worker is quiescent between requests, so the snapshot
+        # reflects exactly the groups applied so far.
+        self._snapshots[shard] = (self._applied[shard], snap)
+        self._journals[shard].truncate_through(self._applied[shard])
 
     def close(self) -> None:
         for conn in self._conns:
             try:
-                conn.send(("stop",))
+                conn.send((0, ("stop",)))
             except (BrokenPipeError, OSError):
                 pass
         for conn in self._conns:
@@ -351,6 +614,28 @@ class ShardedFIVMEngine:
         ``"inline"`` (in-process, deterministic, shared program library)
         or ``"process"`` (one forked worker per shard; falls back to
         inline on platforms without the ``fork`` start method).
+    recv_timeout:
+        Process executor only: seconds to wait for a worker's reply
+        before declaring it hung (default: ``FIVM_SHARD_TIMEOUT`` env
+        var, else 30; ``<= 0`` waits forever).
+    supervise:
+        Process executor only: heal dead/hung workers by restarting
+        them from their shard snapshot + journal tail (default).  With
+        ``False``, a worker failure raises an error naming the shard.
+    checkpoint_every:
+        Process executor only: snapshot a worker and truncate its
+        journal once that many mutating requests have accumulated
+        (``None`` disables checkpoints; recovery then replays the whole
+        journal).
+    max_restarts:
+        Process executor only: per-shard restart budget before the
+        supervisor gives up.
+    faults:
+        Process executor only, test-surface: a
+        :class:`repro.core.faults.FaultPlan` (or zero-argument factory,
+        or ``{shard: plan}`` dict) handed to the forked workers —
+        deterministic crash/hang/error injection for the crash-recovery
+        oracle.  Restarted workers never inherit it.
     backend:
         Trigger backend inherited unchanged by every shard engine
         (``"interpreter"``, ``"source"``, or ``"kernels"``; overrides the
@@ -380,6 +665,11 @@ class ShardedFIVMEngine:
         backend: Optional[str] = None,
         storage: Optional[str] = None,
         hasher: Callable[[object], int] = stable_hash,
+        recv_timeout: Optional[float] = None,
+        supervise: bool = True,
+        checkpoint_every: Optional[int] = 64,
+        max_restarts: int = 3,
+        faults=None,
     ):
         if shards < 1:
             raise ValueError("shard count must be >= 1")
@@ -468,7 +758,14 @@ class ShardedFIVMEngine:
         if executor == "inline":
             self._exec = _InlineShards(factories)
         else:
-            self._exec = _ProcessShards(factories)
+            self._exec = _ProcessShards(
+                factories,
+                recv_timeout=recv_timeout,
+                supervise=supervise,
+                checkpoint_every=checkpoint_every,
+                max_restarts=max_restarts,
+                faults=faults,
+            )
         self.executor = self._exec.kind
         if db is not None:
             self.initialize(db)
@@ -688,6 +985,12 @@ class ShardedFIVMEngine:
 
     def total_keys(self) -> int:
         return sum(self.view_sizes().values())
+
+    @property
+    def shard_restarts(self) -> List[int]:
+        """Per-shard supervisor restart counts (all zeros for the inline
+        executor, which cannot lose a worker)."""
+        return list(getattr(self._exec, "restarts", [0] * self.shards))
 
     def logical_scalars(self) -> int:
         """Resident logical scalars across all shards (the sharded hook

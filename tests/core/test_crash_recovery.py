@@ -1,0 +1,368 @@
+"""The crash-recovery differential oracle and targeted supervision tests.
+
+The oracle reuses the randomized case generator of
+``test_differential_random.py`` and runs each stream twice: through a
+fault-free single :class:`FIVMEngine` and through a supervised
+process-executor :class:`ShardedFIVMEngine` whose forked workers carry a
+seeded :class:`FaultPlan` — deterministic crashes, hangs, and transient
+errors planted at the worker fault sites, including the
+applied-but-not-acked window (``worker.post_apply``).  After every event
+the per-update root deltas must agree, and at the end the merged views
+must equal the fault-free engine's on every tested ring — i.e.
+supervision (restart from shard snapshot + journal-tail replay) is
+*invisible* to correctness.
+
+``FIVM_FAULTS`` scales the plan pool: an integer runs that many seeded
+plans per (ring, shards) combination (tier-1 CI runs a few, the nightly
+sweep many), an explicit ``site@hit=action`` spec pins one failure for a
+repro.  Hangs are generated long enough (4s) to trip the deliberately
+tight 0.5s recv deadline, so a planted hang always reads as a stuck
+worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core import FIVMEngine, Query, ShardedFIVMEngine, VariableOrder
+from repro.core.faults import (
+    ACTIONS,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    plans_from_env,
+)
+from repro.data import Database, Relation
+from repro.rings import INT_RING, Lifting
+
+from tests.core.test_differential_random import (
+    BASE_SEED,
+    RING_FAMILIES,
+    _as_delta,
+    _as_factorized,
+    generate_case,
+)
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the process executor needs the fork start method",
+)
+
+#: (label, plan factory) pairs — factories because fault-plan hit
+#: counters are per process and every engine run needs fresh instances.
+PLANS = plans_from_env(default_count=2, hang_seconds=4.0)
+SHARD_COUNTS = (2, 4)
+#: Tight reply deadline so planted hangs are detected in ~0.5s.
+RECV_TIMEOUT = 0.5
+#: Small checkpoint interval so recovery exercises snapshot + tail
+#: replay (not just whole-journal replay) within short streams.
+CHECKPOINT_EVERY = 3
+
+
+# ----------------------------------------------------------------------
+# FaultPlan unit surface (no fork required)
+# ----------------------------------------------------------------------
+
+
+def test_fault_plan_fires_deterministically():
+    plan = FaultPlan({"worker.recv": {2: "error"}})
+    plan.fire("worker.recv")
+    with pytest.raises(InjectedFault):
+        plan.fire("worker.recv")
+    plan.fire("worker.recv")  # hit 3: inert again
+    assert plan.fired == [("worker.recv", 2, "error")]
+
+
+def test_fault_plan_crash_raise_mode():
+    plan = FaultPlan({"writer.loop": {1: "crash"}})
+    assert plan.crash_action == "raise"
+    with pytest.raises(InjectedCrash):
+        plan.fire("writer.loop")
+
+
+def test_fault_plan_parse_and_seeded():
+    plan = FaultPlan.parse("worker.post_apply@2=crash;worker.recv@5=hang")
+    assert plan.rules == {
+        "worker.post_apply": {2: "crash"},
+        "worker.recv": {5: "hang"},
+    }
+    a = FaultPlan.seeded(42)
+    b = FaultPlan.seeded(42)
+    assert a.rules == b.rules
+    for site, schedule in a.rules.items():
+        assert site.startswith("worker.")
+        for hit, action in schedule.items():
+            assert 1 <= hit <= 12 and action in ACTIONS
+
+
+def test_fault_plan_rejects_unknown_sites_and_actions():
+    with pytest.raises(ValueError):
+        FaultPlan({"no.such.site": {1: "crash"}})
+    with pytest.raises(ValueError):
+        FaultPlan({"worker.recv": {1: "explode"}})
+    with pytest.raises(ValueError):
+        FaultPlan({"worker.recv": {0: "crash"}})
+
+
+def test_plans_from_env_integer_and_spec(monkeypatch):
+    monkeypatch.setenv("FIVM_FAULTS", "3")
+    plans = plans_from_env(default_count=1)
+    assert len(plans) == 3
+    assert all(callable(factory) for _label, factory in plans)
+    monkeypatch.setenv("FIVM_FAULTS", "worker.recv@1=hang")
+    (label, factory), = plans_from_env()
+    assert label == "spec"
+    assert factory().rules == {"worker.recv": {1: "hang"}}
+
+
+# ----------------------------------------------------------------------
+# The crash-recovery differential oracle
+# ----------------------------------------------------------------------
+
+
+def run_crash_case(case: dict, ring_family, shards: int, plan_factory):
+    """Replay one random stream through a fault-free engine and a
+    supervised, fault-injected process-sharded engine; return a
+    divergence description or None."""
+    schemas = case["schemas"]
+    attrs = tuple(sorted({a for s in schemas.values() for a in s}))
+    ring, lifts = ring_family(attrs)
+    lifting = Lifting(ring, lifts)
+    commutative = ring.is_commutative
+
+    def make_query(tag: str) -> Query:
+        return Query(
+            f"Q{tag}", schemas, free=case["free"], ring=ring, lifting=lifting
+        )
+
+    order = VariableOrder.auto(make_query("o"))
+    reference = FIVMEngine(make_query("ref"), order)
+    sharded = ShardedFIVMEngine(
+        make_query("s"), order, shards=shards, executor="process",
+        recv_timeout=RECV_TIMEOUT, checkpoint_every=CHECKPOINT_EVERY,
+        faults=plan_factory,
+    )
+    try:
+        if sharded.executor != "process":  # pragma: no cover - no fork
+            return None
+        empty = Database(
+            Relation(rel, schema, ring) for rel, schema in schemas.items()
+        )
+        reference.initialize(empty)
+        sharded.initialize(empty)
+        for step, event in enumerate(case["events"]):
+            kind = event["kind"]
+            if kind == "update":
+                def fresh():
+                    return _as_delta(
+                        event["rel"], schemas[event["rel"]], ring,
+                        event["data"],
+                    )
+
+                expect = reference.apply_update(fresh())
+                got = sharded.apply_update(fresh())
+            elif kind == "batch":
+                def build_items():
+                    items = []
+                    for item in event["items"]:
+                        rel = item["rel"]
+                        if item["kind"] == "factorized":
+                            items.append(
+                                _as_factorized(rel, ring, item["terms"])
+                            )
+                        else:
+                            items.append(
+                                _as_delta(
+                                    rel, schemas[rel], ring, item["data"]
+                                )
+                            )
+                    return items
+
+                expect = reference.apply_batch(build_items())
+                got = sharded.apply_batch(build_items())
+            elif kind == "factorized":
+                if not commutative:
+                    continue
+                rel = event["rel"]
+                expect = reference.apply_factorized_update(
+                    _as_factorized(rel, ring, event["terms"])
+                )
+                got = sharded.apply_factorized_update(
+                    _as_factorized(rel, ring, event["terms"])
+                )
+            elif kind == "decomposed":
+                if not commutative:
+                    continue
+                rel = event["rel"]
+
+                def fresh():
+                    return _as_delta(rel, schemas[rel], ring, event["data"])
+
+                expect = reference.apply_decomposed_update(fresh())
+                got = sharded.apply_decomposed_update(fresh())
+            else:  # pragma: no cover - generator bug guard
+                raise ValueError(f"unknown event kind {kind!r}")
+            if not expect.same_as(got.rename({}, name=expect.name)):
+                return f"step {step} ({kind}): root delta diverged"
+        merged = sharded.merged_views()
+        for view_name, contents in reference.views.items():
+            if not contents.same_as(
+                merged[view_name].rename({}, name=contents.name)
+            ):
+                return f"final view {view_name}: fault-free != supervised"
+    finally:
+        sharded.close()
+    return None
+
+
+@requires_fork
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("ring_name", sorted(RING_FAMILIES))
+def test_crash_recovery_oracle(ring_name, shards):
+    ring_family = RING_FAMILIES[ring_name]
+    allow_factorized = ring_name != "matrix"
+    ring_index = sorted(RING_FAMILIES).index(ring_name)
+    for i, (label, plan_factory) in enumerate(PLANS):
+        # deterministic per-combination seed (hash() is salted per process)
+        case = generate_case(
+            BASE_SEED + 10_000 * ring_index + 100 * shards + i,
+            allow_factorized,
+        )
+        failure = run_crash_case(case, ring_family, shards, plan_factory)
+        assert failure is None, (
+            f"ring={ring_name} shards={shards} plan={label}: {failure}\n"
+            f"case seed {case['seed']}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Targeted supervision semantics
+# ----------------------------------------------------------------------
+
+
+SCHEMAS = {"R": ("A", "B"), "S": ("A", "C")}
+
+
+def small_query(tag: str = "Q") -> Query:
+    return Query(tag, SCHEMAS, free=("A",), ring=INT_RING)
+
+
+def small_db() -> Database:
+    R = Relation("R", ("A", "B"), INT_RING)
+    S = Relation("S", ("A", "C"), INT_RING)
+    for a in range(6):
+        R.add((a, 0), 1)
+        S.add((a, 1), 2)
+    return Database([R, S])
+
+
+def deltas(n: int):
+    for i in range(n):
+        yield Relation("R", ("A", "B"), INT_RING, {(i % 6, 10 + i): 1})
+
+
+def make_sharded(**kwargs) -> ShardedFIVMEngine:
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("executor", "process")
+    kwargs.setdefault("recv_timeout", RECV_TIMEOUT)
+    return ShardedFIVMEngine(small_query(), **kwargs)
+
+
+@requires_fork
+def test_post_apply_crash_is_applied_exactly_once():
+    """A crash in the applied-but-not-acked window must not double-apply:
+    recovery rebuilds the shard lineage from snapshot + journal replay."""
+    reference = FIVMEngine(small_query("ref"))
+    reference.initialize(small_db())
+    with make_sharded(
+        faults=FaultPlan.parse("worker.post_apply@2=crash"),
+        checkpoint_every=2,
+    ) as sharded:
+        sharded.initialize(small_db())
+        for delta in deltas(6):
+            expect = reference.apply_update(delta.copy())
+            got = sharded.apply_update(delta)
+            assert expect.same_as(got.rename({}, name=expect.name))
+        assert sharded.result().same_as(
+            reference.result().rename({}, name=sharded.tree.root.name)
+        )
+        assert sum(sharded.shard_restarts) >= 1
+
+
+@requires_fork
+def test_unsupervised_hang_raises_naming_the_shard():
+    with make_sharded(
+        faults=FaultPlan.parse("worker.recv@2=hang", hang_seconds=4.0),
+        supervise=False,
+    ) as sharded:
+        with pytest.raises(RuntimeError, match=r"shard worker \d"):
+            sharded.initialize(small_db())
+            for delta in deltas(4):
+                sharded.apply_update(delta)
+
+
+@requires_fork
+def test_restart_budget_exhaustion_raises():
+    with make_sharded(
+        faults=FaultPlan.parse("worker.pre_apply@2=crash"),
+        max_restarts=0,
+    ) as sharded:
+        with pytest.raises(RuntimeError, match="restart budget"):
+            sharded.initialize(small_db())
+            for delta in deltas(4):
+                sharded.apply_update(delta)
+
+
+@requires_fork
+def test_shard_timeout_env_is_honored(monkeypatch):
+    monkeypatch.setenv("FIVM_SHARD_TIMEOUT", "0.4")
+    with make_sharded(
+        recv_timeout=None,  # fall back to the env var
+        faults=FaultPlan.parse("worker.recv@3=hang", hang_seconds=4.0),
+        supervise=False,
+    ) as sharded:
+        assert sharded._exec.recv_timeout == 0.4
+        with pytest.raises(RuntimeError, match="FIVM_SHARD_TIMEOUT"):
+            sharded.initialize(small_db())
+            for delta in deltas(4):
+                sharded.apply_update(delta)
+
+
+@requires_fork
+def test_injected_error_is_recovered_like_a_crash():
+    reference = FIVMEngine(small_query("ref"))
+    reference.initialize(small_db())
+    with make_sharded(
+        faults=FaultPlan.parse("worker.send@3=error"),
+    ) as sharded:
+        sharded.initialize(small_db())
+        for delta in deltas(5):
+            expect = reference.apply_update(delta.copy())
+            got = sharded.apply_update(delta)
+            assert expect.same_as(got.rename({}, name=expect.name))
+        assert sum(sharded.shard_restarts) >= 1
+
+
+@requires_fork
+def test_supervision_survives_reads_mid_failure():
+    """A worker lost on a *read* request (merged_views) is restarted and
+    the read re-served after journal replay."""
+    with make_sharded(
+        faults=FaultPlan.parse("worker.recv@4=crash"),
+        checkpoint_every=None,
+    ) as sharded:
+        sharded.initialize(small_db())
+        for delta in deltas(2):
+            sharded.apply_update(delta)
+        reference = FIVMEngine(small_query("ref"))
+        reference.initialize(small_db())
+        for delta in deltas(2):
+            reference.apply_update(delta)
+        merged = sharded.merged_views()
+        for name, contents in reference.views.items():
+            assert contents.same_as(
+                merged[name].rename({}, name=contents.name)
+            )
