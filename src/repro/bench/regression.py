@@ -74,6 +74,9 @@ METRICS = {
     "BENCH_serving_latency.json": [
         (("speedup",), "ratio", False),
     ],
+    "BENCH_multiview.json": [
+        (("speedup",), "ratio", False),
+    ],
     "BENCH_recovery.json": [
         (("speedup",), "ratio", False),
         (("ok",), "flag", False),

@@ -31,6 +31,10 @@ from repro.core.materialization import (
     materialization_flags,
     materialized_views,
 )
+from repro.core.multiview import (
+    MultiViewClient,
+    MultiViewEngine,
+)
 from repro.core.query import Query
 from repro.core.serving import ActiveSet, ViewClient, upquery
 from repro.core.sharded import ShardedFIVMEngine, stable_hash
@@ -44,6 +48,8 @@ __all__ = [
     "MATERIALIZATIONS",
     "ActiveSet",
     "ViewClient",
+    "MultiViewEngine",
+    "MultiViewClient",
     "upquery",
     "ShardedFIVMEngine",
     "stable_hash",

@@ -84,6 +84,7 @@ def pack_relation(relation: Relation, copy: bool = False) -> tuple:
 
 
 def unpack_relation(packed: tuple, ring) -> Relation:
+    """Rebuild a :class:`Relation` from its packed tuple under ``ring``."""
     name, schema, data = packed
     out = Relation(name, schema, ring)
     out._data = data if isinstance(data, dict) else dict(data)
@@ -108,6 +109,7 @@ def pack_item(item, copy: bool = False) -> tuple:
 
 
 def unpack_item(packed: tuple, ring):
+    """Rebuild an update item (delta or factorized) from its tagged pack."""
     tag, payload = packed
     if tag == "factorized":
         relation, terms = payload
@@ -253,6 +255,7 @@ class UpdateJournal:
         self._entries: List[Tuple[int, object]] = []
 
     def append(self, seq: int, payload) -> None:
+        """Record ``payload`` under ``seq`` (strictly increasing)."""
         if self._entries and seq <= self._entries[-1][0]:
             raise ValueError(
                 f"journal sequence {seq} is not after {self._entries[-1][0]}"
@@ -271,10 +274,12 @@ class UpdateJournal:
         return cut
 
     def clear(self) -> None:
+        """Drop every journal entry."""
         self._entries = []
 
     @property
     def last_seq(self) -> int:
+        """Sequence number of the newest entry (0 when empty)."""
         return self._entries[-1][0] if self._entries else 0
 
     def __len__(self) -> int:
@@ -320,12 +325,15 @@ class JournaledFIVMEngine:
     # -- the write path -------------------------------------------------
 
     def apply_update(self, delta: Relation) -> Relation:
+        """Journal and apply one delta (a one-item :meth:`apply_batch`)."""
         return self.apply_batch([delta])
 
     def apply_factorized_update(self, update: FactorizedUpdate) -> Relation:
+        """Journal and apply one factorized update as its own group."""
         return self.apply_batch([update])
 
     def apply_batch(self, deltas: Iterable) -> Relation:
+        """Journal the group write-ahead, then apply it to the engine."""
         items = list(deltas)
         self._next_seq += 1
         seq = self._next_seq
@@ -405,11 +413,14 @@ class JournaledFIVMEngine:
     # -- read-through ----------------------------------------------------
 
     def result(self) -> Relation:
+        """The wrapped engine's maintained query result."""
         return self.engine.result()
 
     def contents(self, view_name: str) -> Relation:
+        """Contents of one of the wrapped engine's materialized views."""
         return self.engine.contents(view_name)
 
     @property
     def views(self) -> Dict[str, Relation]:
+        """The wrapped engine's materialized views, by name."""
         return self.engine.views

@@ -504,6 +504,7 @@ class FIVMEngine:
             # Prefer the target sharing the most attributes with what we
             # already have (greedy left-deep plan); deterministic tie-break.
             def overlap(entry: Tuple[str, int, Tuple[str, ...]]) -> int:
+                """Attributes the candidate shares with the accumulated set."""
                 return len(accumulated & set(entry[2]))
 
             best = max(
@@ -709,6 +710,7 @@ class FIVMEngine:
             active.dropped.clear()
 
         def evaluate(node: ViewNode) -> Relation:
+            """Bottom-up (re)computation of one node from ``db``."""
             if node.is_leaf:
                 contents = db.relation(node.leaf_of)
                 if self.flags[node.name]:
@@ -763,6 +765,7 @@ class FIVMEngine:
         return self.views[view_name]
 
     def materialized_names(self) -> Tuple[str, ...]:
+        """Sorted names of the materialized views."""
         return tuple(sorted(self.views))
 
     def view_sizes(self) -> Dict[str, int]:
@@ -774,6 +777,7 @@ class FIVMEngine:
         return sizes
 
     def total_keys(self) -> int:
+        """Total stored keys across all materialized views."""
         return sum(self.view_sizes().values())
 
     def view_count(self) -> int:
@@ -906,6 +910,7 @@ class FIVMEngine:
         leaves = self.tree.leaves
 
         def path_key(rel: str) -> Tuple[str, ...]:
+            """Root-first view-name path above ``rel``'s leaf (sort key)."""
             names: List[str] = []
             node = leaves[rel].parent
             while node is not None:

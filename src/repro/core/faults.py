@@ -210,6 +210,7 @@ def plans_from_env(
     count = int(raw) if raw else default_count
 
     def make_factory(seed: int):
+        """A zero-arg factory for one seeded plan (late-binds ``seed``)."""
         return lambda: FaultPlan.seeded(seed, **seeded_kwargs)
 
     return [

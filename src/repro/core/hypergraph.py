@@ -98,12 +98,14 @@ def connected_components(
     parent: Dict[str, str] = {label: label for label, _ in edge_list}
 
     def find(x: str) -> str:
+        """Union-find root of ``x`` with path halving."""
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
         return x
 
     def union(a: str, b: str) -> None:
+        """Merge the components of ``a`` and ``b``."""
         ra, rb = find(a), find(b)
         if ra != rb:
             parent[ra] = rb

@@ -48,6 +48,7 @@ def add_indicator_projections(tree: ViewTree) -> ViewTree:
     all_relations = set(query.relations)
 
     def visit(node: ViewNode) -> None:
+        """Attach indicator projections bottom-up below ``node``."""
         for child in node.children:
             visit(child)
         if node.is_leaf or len(node.children) < 2:

@@ -211,6 +211,7 @@ def lower_delta_plan(node, source, plan, target_schemas, query) -> DeltaProgram:
     registers: Dict[str, int] = {}
 
     def reg(attr: str) -> int:
+        """Stable register index for ``attr`` (allocated on first use)."""
         index = registers.get(attr)
         if index is None:
             index = len(registers)
@@ -430,6 +431,7 @@ def lower_factor_plan(
     next_id = [0]
 
     def new_slot(schema, pristine=None) -> FactorSlot:
+        """Allocate the next factor slot over ``schema``."""
         slot = FactorSlot(next_id[0], tuple(schema), pristine)
         next_id[0] += 1
         return slot
@@ -645,6 +647,7 @@ class InterpreterDeltaProgram:
                 self._targets[op.target].register_index(op.probe_attrs)
 
     def run(self, delta: Relation) -> Relation:
+        """Interpret the trigger IR over ``delta``; returns the root delta."""
         ir = self.ir
         ring = self.ring
         mul = ring.mul
@@ -936,6 +939,7 @@ class InterpreterFactorProgram:
     # -- the run contract -------------------------------------------------
 
     def run(self, fdatas, cache):
+        """Interpret the factorized IR over the update's factor dicts."""
         ir = self.ir
         slot_data: Dict[int, dict] = {
             slot.id: fdatas[i] for i, slot in enumerate(ir.initial_slots)

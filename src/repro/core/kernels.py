@@ -99,14 +99,17 @@ class _KernelDelta(Relation):
         self._kernel_packed = None
 
     def add(self, key, payload):
+        """Point write; invalidates the packed column cache."""
         self._kernel_packed = None
         super().add(key, payload)
 
     def absorb_bulk(self, delta):
+        """Bulk absorb; invalidates the packed column cache."""
         self._kernel_packed = None
         super().absorb_bulk(delta)
 
     def clear(self):
+        """Drop contents and the packed column cache."""
         self._kernel_packed = None
         super().clear()
 
@@ -183,6 +186,7 @@ def _generate_gather(ir: DeltaProgram, columnar: tuple) -> _Generated:
     ops = ir.ops
 
     def rname(register: int) -> str:
+        """Source name of a key register."""
         return f"r{register}"
 
     n_factors = len(ir.accumulate.factors)
@@ -194,6 +198,7 @@ def _generate_gather(ir: DeltaProgram, columnar: tuple) -> _Generated:
     lines: List[str] = [f"def _gather({', '.join(params)}):"]
 
     def emit(depth: int, text: str) -> None:
+        """Append one generated source line at ``depth``."""
         lines.append("    " * depth + text)
 
     for i, op in enumerate(ops):
@@ -372,6 +377,7 @@ class KernelDeltaProgram:
         return out
 
     def run(self, delta: Relation) -> Relation:
+        """Vectorized trigger execution over ``delta`` (NumPy kernels)."""
         ring = self.ring
         out = _KernelDelta(self.node_name, self.out_schema, ring)
         keys: List[tuple] = []

@@ -43,6 +43,7 @@ def delta_sources(
     sources: Dict[str, FrozenSet[str]] = {}
 
     def collect(node: ViewNode) -> FrozenSet[str]:
+        """Updatable delta sources reaching ``node``, bottom-up."""
         found: Set[str] = set(node.relations & updates)
         for ind in node.indicators:
             if ind.base_name in updates:
@@ -70,6 +71,7 @@ def materialization_flags(
     flags: Dict[str, bool] = {}
 
     def walk(node: ViewNode, parent: Optional[ViewNode]) -> None:
+        """Decide materialization for ``node`` from its parent's sources."""
         if parent is None:
             flags[node.name] = True
         else:

@@ -181,9 +181,11 @@ class ProgramLibrary:
         return len(self._generated)
 
     def lookup(self, key: tuple) -> Optional[_Generated]:
+        """The cached generated program for ``key``, if any."""
         return self._generated.get(key)
 
     def store(self, key: tuple, generated: _Generated) -> None:
+        """Cache a generated program under ``key``."""
         self._generated[key] = generated
 
 
@@ -325,12 +327,14 @@ def _generate_slot(ir: DeltaProgram) -> _Generated:
     ops = ir.ops
 
     def rname(register: int) -> str:
+        """Source name of a key register."""
         return f"r{register}"
 
     requests: List[tuple] = []
     lines: List[str] = ["def _trigger(_items, _out):"]
 
     def emit(depth: int, text: str) -> None:
+        """Append one generated source line at ``depth``."""
         lines.append("    " * depth + text)
 
     # Hoist loop-invariant group-aware probes (no shared attributes): the
@@ -521,11 +525,13 @@ def _generate_factor(ir: FactorProgramIR) -> _Generated:
     lines: List[str] = ["def _factor(_fs, _cache):"]
 
     def emit(depth: int, text: str) -> None:
+        """Append one generated source line at ``depth``."""
         lines.append("    " * depth + text)
 
     lift_names: Dict[str, str] = {}
 
     def lift_ref(var: str) -> str:
+        """Bound name of ``var``'s lift, requested on first use."""
         name = lift_names.get(var)
         if name is None:
             name = f"_lift{len(lift_names)}"
@@ -565,6 +571,7 @@ def _generate_factor(ir: FactorProgramIR) -> _Generated:
         registers: Dict[str, str] = {}
 
         def reg(attr: str, registers=registers, n=n) -> str:
+            """Stable register name for ``attr`` within this op."""
             name = registers.get(attr)
             if name is None:
                 name = f"r{n}_{len(registers)}"

@@ -82,10 +82,12 @@ class Query:
 
     @property
     def is_acyclic(self) -> bool:
+        """Whether the join hypergraph is α-acyclic (GYO-reducible)."""
         return is_acyclic(self.hyperedges())
 
     @property
     def is_connected(self) -> bool:
+        """Whether the join hypergraph is one connected component."""
         return is_connected(self.hyperedges())
 
     def relations_with(self, variable: str) -> Tuple[str, ...]:
@@ -95,6 +97,7 @@ class Query:
         )
 
     def schema_of(self, relation: str) -> Tuple[str, ...]:
+        """The schema of ``relation``; raises :class:`SchemaError` if unknown."""
         try:
             return self.relations[relation]
         except KeyError:

@@ -123,6 +123,7 @@ class ActiveSet:
         self.total_cost += cost - old
 
     def record_drop(self, key: Key) -> None:
+        """Note a delta dropped for inactive ``key`` (re-serve must upquery)."""
         self.dropped.add(key)
         self.stats["dropped_deltas"] += 1
 
@@ -134,6 +135,7 @@ class ActiveSet:
             self.stats["dropped_deltas"] += n
 
     def over_budget(self) -> bool:
+        """Whether stored cost exceeds the configured budget."""
         return self.budget is not None and self.total_cost > self.budget
 
     def pop_lru(self) -> Key:

@@ -289,12 +289,14 @@ class _InlineShards:
         self.engines = [factory() for factory in factories]
 
     def run(self, requests: Dict[int, tuple]) -> Dict[int, object]:
+        """Dispatch each request to its shard engine, in-process."""
         return {
             shard: _dispatch(self.engines[shard], request)
             for shard, request in requests.items()
         }
 
     def close(self) -> None:
+        """Nothing to release for in-process shard engines."""
         pass
 
 
@@ -404,6 +406,8 @@ class _ProcessShards:
         return self._seq
 
     def run(self, requests: Dict[int, tuple]) -> Dict[int, object]:
+        """Send each request to its worker and gather replies, restarting
+        and replaying crashed workers under the supervision policy."""
         pending: Dict[int, Tuple[int, tuple]] = {}
         replies: Dict[int, object] = {}
         for shard, request in requests.items():
@@ -564,6 +568,7 @@ class _ProcessShards:
         self._journals[shard].truncate_through(self._applied[shard])
 
     def close(self) -> None:
+        """Stop every worker process and join it."""
         for conn in self._conns:
             try:
                 conn.send((0, ("stop",)))
@@ -732,6 +737,7 @@ class ShardedFIVMEngine:
         library = ProgramLibrary() if executor == "inline" else None
 
         def factory() -> FIVMEngine:
+            """One shard-local engine of the shared configuration."""
             return FIVMEngine(
                 query,
                 order=self.order,
@@ -967,6 +973,7 @@ class ShardedFIVMEngine:
         return out
 
     def materialized_names(self) -> Tuple[str, ...]:
+        """Sorted names of the views every shard materializes."""
         return tuple(sorted(
             name for name, flagged in self.flags.items() if flagged
         ))
@@ -984,6 +991,7 @@ class ShardedFIVMEngine:
         return sizes
 
     def total_keys(self) -> int:
+        """Total physical keys stored across all shards and views."""
         return sum(self.view_sizes().values())
 
     @property

@@ -97,6 +97,7 @@ class VariableOrder:
         edges = [set(schema) for schema in query.relations.values()]
 
         def components(varset: Set[str]) -> List[Set[str]]:
+            """Connected components of ``varset`` under the join edges."""
             remaining = set(varset)
             result: List[Set[str]] = []
             while remaining:
@@ -116,9 +117,11 @@ class VariableOrder:
             return result
 
         def occurrence(var: str) -> int:
+            """How many relations mention ``var``."""
             return sum(1 for edge in edges if var in edge)
 
         def build(varset: Set[str]) -> VONode:
+            """Build the subtree for one connected component."""
             # Prefer free variables on top, then high-occurrence variables;
             # name-based tie-break keeps construction deterministic.
             root = min(
@@ -142,12 +145,14 @@ class VariableOrder:
         return tuple(self._order)
 
     def node(self, var: str) -> VONode:
+        """The order node of ``var``; raises :class:`KeyError` if absent."""
         try:
             return self._nodes[var]
         except KeyError:
             raise KeyError(f"variable {var!r} not in order") from None
 
     def parent(self, var: str) -> Optional[str]:
+        """Parent variable of ``var`` (``None`` at a root)."""
         return self._parent[var]
 
     def ancestors(self, var: str) -> Tuple[str, ...]:

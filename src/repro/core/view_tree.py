@@ -29,7 +29,7 @@ from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.data.schema import SchemaError
 
-__all__ = ["ViewNode", "ViewTree", "build_view_tree"]
+__all__ = ["ViewNode", "ViewTree", "build_view_tree", "subtree_signature"]
 
 
 class ViewNode:
@@ -71,6 +71,7 @@ class ViewNode:
 
     @property
     def is_leaf(self) -> bool:
+        """Whether this node is a relation leaf."""
         return self.leaf_of is not None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -109,6 +110,7 @@ class ViewTree:
         return [n for n in self.nodes if not n.is_leaf]
 
     def view_count(self) -> int:
+        """Number of non-leaf views in the tree."""
         return len(self.inner_views())
 
     def path_to_root(self, relation: str) -> List[ViewNode]:
@@ -156,6 +158,7 @@ class ViewTree:
         lines: List[str] = []
 
         def walk(node: ViewNode, depth: int) -> None:
+            """Render ``node`` and its subtree at ``depth``."""
             pad = "  " * depth
             if node.is_leaf:
                 lines.append(f"{pad}{node.leaf_of}[{', '.join(node.keys)}]")
@@ -235,6 +238,7 @@ def build_view_tree(
     used_names: Set[str] = set()
 
     def unique_name(base: str) -> str:
+        """``base``, suffixed ``#n`` if already used."""
         name = base
         suffix = 1
         while name in used_names:
@@ -244,6 +248,7 @@ def build_view_tree(
         return name
 
     def leaf(rel: str) -> ViewNode:
+        """A leaf node for relation ``rel``."""
         return ViewNode(
             name=unique_name(rel),
             keys=query.schema_of(rel),
@@ -253,6 +258,7 @@ def build_view_tree(
         )
 
     def build(vo_node: VONode) -> ViewNode:
+        """The view (sub)tree for one variable-order node."""
         children = [build(child) for child in vo_node.children]
         children += [leaf(rel) for rel in sorted(anchored.get(vo_node.var, ()))]
         if not children:
@@ -332,3 +338,54 @@ def build_view_tree(
             at_vars=("top",),
         )
     return ViewTree(root, query, order)
+
+
+def subtree_signature(query: Query, order: VariableOrder, var: str):
+    """The canonical sharing key of the variable-order subtree at ``var``.
+
+    The subtree at ``var`` determines a *sub-query*: the relations with a
+    variable inside the subtree (a relation touching the subtree is anchored
+    in it, because its variables lie on one root-to-leaf path), marginalizing
+    exactly the subtree variables that are bound in ``query``.  Two
+    registered queries whose subtrees produce the same signature compute the
+    same sub-view — same relations and schemas, same output variables, same
+    ring, and the same lifting function (by object identity) for every
+    marginalized variable — so a multi-query engine can maintain that
+    sub-view once and fan its deltas out to every subscriber
+    (:mod:`repro.core.multiview`).
+
+    The signature is *order-insensitive* below ``var``: it canonicalizes to
+    sorted relation and variable tuples rather than encoding the subtree
+    shape, because the shared sub-engine re-derives its own variable order
+    from the sub-query (:meth:`VariableOrder.auto` is deterministic).  That
+    is sound only for commutative rings — callers must not share across
+    queries whose ring multiplication is order-sensitive.
+
+    Returns ``(signature, relations, marginalized)``: the hashable key, the
+    ``{name: schema}`` mapping of the sub-query's relations, and the set of
+    variables it marginalizes.
+    """
+    subtree = order.subtree_vars(var)
+    relations = {
+        name: schema
+        for name, schema in query.relations.items()
+        if subtree & set(schema)
+    }
+    marginalized = subtree & set(query.bound)
+    lift_ids = tuple(
+        (v, None if query.lifting.get(v) is None else id(query.lifting.get(v)))
+        for v in sorted(marginalized)
+    )
+    free = tuple(
+        sorted(
+            {a for schema in relations.values() for a in schema}
+            - marginalized
+        )
+    )
+    signature = (
+        id(query.ring),
+        tuple(sorted(relations.items())),
+        free,
+        lift_ids,
+    )
+    return signature, relations, marginalized

@@ -33,6 +33,17 @@ dies is contained: its real exception fails the in-flight and queued
 futures, later :meth:`~ViewServer.apply` calls fail fast with
 :class:`WriterCrashed`, and :meth:`ViewServer.stop` still returns (and
 is idempotent) instead of joining a queue nobody will drain.
+
+The server also fronts a :class:`~repro.core.multiview.MultiViewEngine`
+(many registered queries, shared sub-views, target-lag refresh): the
+writer drains ``(relation, counts)`` groups through the same
+``apply_batch`` entry point, reads go through the engine's own client,
+:meth:`ViewServer.register` / :meth:`ViewServer.deregister` add and drop
+queries under the write lock, :meth:`ViewServer.lookup_fresh` returns a
+payload together with its freshness metadata, and an optional
+``tick_interval`` runs the engine's lag scheduler even when no writes
+arrive (a lagged view must not stay stale just because the stream went
+quiet).
 """
 
 from __future__ import annotations
@@ -135,9 +146,21 @@ class ViewServer:
         overflow: str = "wait",
         apply_timeout: Optional[float] = None,
         faults=None,
+        tick_interval: Optional[float] = None,
     ):
         self.engine = engine
-        self.client = ViewClient(engine)
+        # A multi-view engine brings its own read front door (same
+        # lookup/lookup_many/stats surface); single engines get the
+        # classic point-lookup client.
+        self.client = (
+            engine.client() if hasattr(engine, "client")
+            else ViewClient(engine)
+        )
+        #: Period (seconds) of the background scheduler tick for engines
+        #: exposing one (:class:`~repro.core.multiview.MultiViewEngine`);
+        #: ``None`` relies on write-path ticks alone.
+        self.tick_interval = tick_interval
+        self._tick_task: Optional[asyncio.Task] = None
         self.lock = EpochLock()
         #: Update groups the writer drains per write-lock hold (they all
         #: commit in one epoch; queued submitters resolve together).
@@ -167,11 +190,19 @@ class ViewServer:
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> "ViewServer":
-        """Spawn the single writer task (idempotent)."""
+        """Spawn the single writer task (idempotent), plus the periodic
+        scheduler tick when ``tick_interval`` is set and the engine has a
+        ``tick`` (lagged views refresh on schedule, not only on writes)."""
         if self._writer_task is None:
             self._queue = asyncio.Queue(maxsize=self.max_queue or 0)
             self._writer_error = None
             self._writer_task = asyncio.create_task(self._writer_loop())
+        if (
+            self._tick_task is None
+            and self.tick_interval is not None
+            and hasattr(self.engine, "tick")
+        ):
+            self._tick_task = asyncio.create_task(self._tick_loop())
         return self
 
     async def stop(self) -> None:
@@ -182,6 +213,13 @@ class ViewServer:
         of joining the queue forever this fails their futures with the
         writer's real exception and returns.
         """
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            try:
+                await self._tick_task
+            except asyncio.CancelledError:
+                pass
+            self._tick_task = None
         task, queue = self._writer_task, self._queue
         if task is None:
             return
@@ -242,8 +280,67 @@ class ViewServer:
             return self.client.lookup_many(view_name, keys), epoch
 
     def stats(self, view_name: str) -> Dict[str, int]:
-        """Serving counters for one partial view (see ``ViewClient``)."""
+        """Serving counters for one partial view (see ``ViewClient``) —
+        or, over a multi-view engine, that view's refresh counters and
+        freshness snapshot."""
         return self.client.stats(view_name)
+
+    async def lookup_fresh(self, view_name: str, key: Iterable):
+        """One point lookup plus the freshness metadata of the state it
+        read: ``(payload, freshness)``, both taken under one read-lock
+        hold so they describe the same epoch.  The freshness dict is the
+        engine's (:meth:`~repro.core.multiview.MultiViewEngine.freshness`
+        for multi-view engines — target lag, pending deltas, staleness,
+        last refresh); engines without freshness tracking report ``{}``
+        (a single eager engine is always fresh at read time).
+        """
+        async with self.lock.read():
+            payload = self.client.lookup(view_name, key)
+            if hasattr(self.engine, "freshness"):
+                return payload, self.engine.freshness(view_name)
+            return payload, {}
+
+    # -- multi-view registration ---------------------------------------
+
+    async def register(self, query, *, target_lag: float = 0.0,
+                       name: Optional[str] = None, order=None) -> str:
+        """Register a query on a multi-view engine, under the write lock
+        (registration may promote shared sub-views and rebuild their
+        hosts, which must not interleave with reads).  Returns the view
+        name; raises :class:`TypeError` over a single-query engine."""
+        self._require_multiview("register")
+        async with self.lock.write():
+            return self.engine.register(
+                query, order, target_lag=target_lag, name=name
+            )
+
+    async def deregister(self, view_name: str) -> None:
+        """Drop a registered view (write-locked; shared sub-views losing
+        their last subscriber are freed)."""
+        self._require_multiview("deregister")
+        async with self.lock.write():
+            self.engine.deregister(view_name)
+
+    def set_target_lag(self, view_name: str, target_lag: float) -> None:
+        """Change one view's lag budget (effective at the next tick)."""
+        self._require_multiview("set_target_lag")
+        self.engine.set_target_lag(view_name, target_lag)
+
+    def _require_multiview(self, what: str) -> None:
+        if not hasattr(self.engine, "register"):
+            raise TypeError(
+                f"ViewServer.{what} needs a MultiViewEngine; "
+                f"this server fronts {type(self.engine).__name__}"
+            )
+
+    async def _tick_loop(self) -> None:
+        """Run the engine's lag scheduler every ``tick_interval`` seconds
+        under the write lock, so lagged views stay within their budgets
+        even when no writes arrive to piggyback the tick on."""
+        while True:
+            await asyncio.sleep(self.tick_interval)
+            async with self.lock.write():
+                self.engine.tick()
 
     # -- the write path -------------------------------------------------
 
