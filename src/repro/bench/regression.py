@@ -26,14 +26,16 @@ Run as::
 
     PYTHONPATH=src python -m repro.bench.regression --fresh fresh/ \
         [--baseline benchmarks/results] [--tolerance 0.15] \
-        [--update-baselines]
+        [--update-baselines] [--strict]
 
 Exit status 0 when every present metric holds, 1 otherwise.  Fresh files
 without a committed baseline (a brand-new bench), and baselines written
 before a newly added metric existed, pass with a warn-and-record notice —
 commit the fresh JSON (or run with ``--update-baselines``, which copies
 every registered fresh file over the baseline directory) to start
-ratcheting.
+ratcheting.  A baseline that exists but cannot be *parsed* is the
+dangerous case — the ratchet silently stops ratcheting — so ``--strict``
+(CI mode) makes that a hard failure instead of a warn.
 """
 
 from __future__ import annotations
@@ -64,6 +66,11 @@ METRICS = {
     "BENCH_shard_scaling.json": [
         (("merge_equal",), "flag", False),
         (("speedup", "one", "S=4"), "ratio", True),
+    ],
+    "BENCH_shard_pipeline.json": [
+        (("merge_equal",), "flag", False),
+        (("speedup",), "ratio", False),
+        (("ok",), "flag", False),
     ],
     "BENCH_ablation_kernel_backend.json": [
         (("speedup",), "ratio", False),
@@ -98,12 +105,16 @@ def compare(
     baseline_dir: Path,
     tolerance: float,
     out: Optional[List[str]] = None,
+    strict: bool = False,
 ) -> List[str]:
     """Compare every registered fresh file against its baseline.
 
     Returns the list of failure messages (empty = ratchet holds); human
     readable progress lines are appended to ``out`` when given, else
-    printed.
+    printed.  ``strict`` turns a corrupt (unparseable) baseline into a
+    hard failure instead of a warn-and-record: interactively a broken
+    file should not block a dev loop, but under CI it means the ratchet
+    silently stopped ratcheting — exactly what the gate exists to catch.
     """
     lines: List[str] = out if out is not None else []
     failures: List[str] = []
@@ -123,7 +134,14 @@ def compare(
             continue
         try:
             baseline = json.loads(baseline_path.read_text())
-        except ValueError:
+        except ValueError as exc:
+            if strict:
+                failures.append(
+                    f"{filename}: baseline is not valid JSON ({exc}) — "
+                    "a corrupt baseline disables the ratchet; restore or "
+                    "regenerate it (--update-baselines)"
+                )
+                continue
             # A corrupt baseline must not mask a fresh run: record every
             # fresh value and move on (regenerate the baseline to ratchet).
             lines.append(
@@ -217,9 +235,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="copy the registered fresh files over the baseline directory "
         "(prints the comparison for context, then exits 0)",
     )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on a corrupt baseline file instead of warn-and-record "
+        "(CI mode: a baseline that cannot be parsed disables the ratchet)",
+    )
     args = parser.parse_args(argv)
     lines: List[str] = []
-    failures = compare(args.fresh, args.baseline, args.tolerance, out=lines)
+    failures = compare(
+        args.fresh, args.baseline, args.tolerance, out=lines,
+        strict=args.strict,
+    )
     for line in lines:
         print(line)
     if args.update_baselines:

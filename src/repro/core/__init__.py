@@ -15,6 +15,7 @@ from repro.core.engine import (
     BACKENDS,
     MATERIALIZATIONS,
     STORAGES,
+    DeferredRelation,
     FIVMEngine,
 )
 from repro.core.factorized_update import FactorizedUpdate, decompose
@@ -37,7 +38,7 @@ from repro.core.multiview import (
 )
 from repro.core.query import Query
 from repro.core.serving import ActiveSet, ViewClient, upquery
-from repro.core.sharded import ShardedFIVMEngine, stable_hash
+from repro.core.sharded import FrameConn, ShardedFIVMEngine, stable_hash
 from repro.core.variable_order import VariableOrder, VONode
 from repro.core.view_tree import ViewNode, ViewTree, build_view_tree, compute_view
 
@@ -51,6 +52,8 @@ __all__ = [
     "MultiViewEngine",
     "MultiViewClient",
     "upquery",
+    "DeferredRelation",
+    "FrameConn",
     "ShardedFIVMEngine",
     "stable_hash",
     "JournaledFIVMEngine",

@@ -53,6 +53,7 @@ __all__ = [
     "pack_relation",
     "plain_data",
     "restore_snapshot",
+    "tail_handoff",
     "take_snapshot",
     "unpack_item",
     "unpack_relation",
@@ -287,6 +288,29 @@ class UpdateJournal:
 
     def __iter__(self):
         return iter(self._entries)
+
+
+def tail_handoff(
+    snapshot: Optional[Tuple[int, dict]], journal: UpdateJournal
+) -> dict:
+    """Bundle everything a restarted shard needs, as one plain object.
+
+    ``snapshot`` is the supervisor's ``(base_seq, snapshot_data)`` pair
+    (or ``None`` when no checkpoint has been taken); the handoff carries
+    the snapshot plus the journal entries strictly after ``base_seq`` —
+    the exact replay set that rebuilds the lost state.  Every recovery
+    transport (pipe respawn, socket reconnect) consumes the same bundle,
+    so the restart contract cannot drift between executors, and because
+    the bundle is plain picklable data it can cross a wire to a remote
+    :class:`~repro.serve.ShardHost` unchanged.
+    """
+    base_seq = snapshot[0] if snapshot is not None else 0
+    return {
+        "version": 1,
+        "base_seq": base_seq,
+        "snapshot": snapshot[1] if snapshot is not None else None,
+        "tail": journal.tail(base_seq),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -121,6 +121,7 @@ from repro.data.indicator import IndicatorView
 from repro.data.relation import Relation
 
 __all__ = [
+    "DeferredRelation",
     "FIVMEngine",
     "check_delta",
     "check_factorized",
@@ -189,6 +190,57 @@ def resolve_materialization(materialization: Optional[str]) -> str:
             f"expected one of {MATERIALIZATIONS}"
         )
     return materialization
+
+#: The slot descriptor behind ``Relation._data``, captured before
+#: :class:`DeferredRelation` shadows it with a resolving property.
+_DATA_SLOT = Relation.__dict__["_data"]
+
+
+class DeferredRelation(Relation):
+    """A relation whose contents materialize lazily, on first access.
+
+    The deferred-delta facade of the pipelined shard executor: a
+    pipelined ``apply_update`` returns one of these immediately — name,
+    schema, and ring are known up front; the payload map is produced by
+    ``resolver()`` (typically: drain the in-flight acks and ring-merge
+    the per-shard root deltas) the first time anything touches ``_data``.
+    Callers that ignore the return value (streaming benchmarks, fire-and
+    -forget writers) therefore never pay the round trip; callers that
+    read it get the exact eager semantics, just later.
+
+    Implementation: the parent class stores payloads in a ``_data``
+    slot; this subclass shadows that slot descriptor with a property
+    whose getter runs the resolver once and writes the result through
+    the captured slot, so every inherited method (``payload``, ``join``,
+    ``same_as``, iteration, …) transparently forces resolution.
+    """
+
+    __slots__ = ("_resolver",)
+
+    def __init__(self, name: str, schema, ring, resolver):
+        self._resolver = None  # __init__'s _data write must not resolve
+        super().__init__(name, schema, ring)
+        self._resolver = resolver
+
+    @property
+    def _data(self):
+        """The payload map, resolving on first access."""
+        resolver = self._resolver
+        if resolver is not None:
+            self._resolver = None
+            _DATA_SLOT.__set__(self, resolver())
+        return _DATA_SLOT.__get__(self)
+
+    @_data.setter
+    def _data(self, value):
+        self._resolver = None
+        _DATA_SLOT.__set__(self, value)
+
+    @property
+    def resolved(self) -> bool:
+        """True once the payload map has materialized (reads force it)."""
+        return self._resolver is None
+
 
 #: A delta source at a node: ("child", i) for the i-th child subtree,
 #: ("ind", i) for the i-th hosted indicator projection.

@@ -77,7 +77,9 @@ class Database:
     ) -> Tuple["Database", ...]:
         """Split into ``shards`` databases for hash-partitioned maintenance.
 
-        ``shard_attrs`` maps each relation name to the attribute it is
+        ``shard_attrs`` maps each relation name to the attribute (or
+        tuple of attributes — a compound key, see
+        :meth:`~repro.data.relation.Relation.partition`) it is
         partitioned on, or ``None`` to replicate the relation (a full copy
         in every shard — the broadcast side of a distributed hash join).
         Relations absent from the mapping are replicated too.

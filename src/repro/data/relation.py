@@ -628,11 +628,13 @@ class Relation:
         return out
 
     def partition(
-        self, attr: str, shards: int, hasher: Callable[[Any], int]
+        self, attr, shards: int, hasher: Callable[[Any], int]
     ) -> list:
-        """Hash-partition on one attribute into ``shards`` relations.
+        """Hash-partition on an attribute (or compound key) into ``shards``.
 
-        Fragment ``i`` holds exactly the keys whose ``attr`` component
+        ``attr`` is one attribute name or a sequence of names: fragment
+        ``i`` holds exactly the keys whose ``attr`` value — the single
+        component, or the tuple of components for a compound key —
         hashes to ``i`` (``hasher(value) % shards``), so fragments have
         pairwise-disjoint supports and their union (``⊎``) is this
         relation — the decomposition property the sharded engine's
@@ -640,15 +642,24 @@ class Relation:
         """
         if shards <= 0:
             raise SchemaError("shard count must be positive")
-        if attr not in self.schema:
-            raise SchemaError(
-                f"cannot partition {self.name!r} on {attr!r}: "
-                f"not in schema {self.schema}"
-            )
-        position = self.schema.index(attr)
+        attrs = (attr,) if isinstance(attr, str) else tuple(attr)
+        if not attrs:
+            raise SchemaError("a compound partition key must not be empty")
+        for name in attrs:
+            if name not in self.schema:
+                raise SchemaError(
+                    f"cannot partition {self.name!r} on {name!r}: "
+                    f"not in schema {self.schema}"
+                )
+        positions = [self.schema.index(name) for name in attrs]
+        single = positions[0] if len(positions) == 1 else None
         datas: list = [{} for _ in range(shards)]
         for key, payload in self._data.items():
-            datas[hasher(key[position]) % shards][key] = payload
+            value = (
+                key[single] if single is not None
+                else tuple(key[p] for p in positions)
+            )
+            datas[hasher(value) % shards][key] = payload
         fragments = []
         for data in datas:
             fragment = Relation(self.name, self.schema, self.ring)

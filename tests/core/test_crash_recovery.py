@@ -123,10 +123,18 @@ def test_plans_from_env_integer_and_spec(monkeypatch):
 # ----------------------------------------------------------------------
 
 
-def run_crash_case(case: dict, ring_family, shards: int, plan_factory):
+def run_crash_case(
+    case: dict,
+    ring_family,
+    shards: int,
+    plan_factory,
+    executor: str = "process",
+    pipeline_depth: int = 0,
+):
     """Replay one random stream through a fault-free engine and a
-    supervised, fault-injected process-sharded engine; return a
-    divergence description or None."""
+    supervised, fault-injected sharded engine (process or socket
+    executor, synchronous or pipelined); return a divergence description
+    or None."""
     schemas = case["schemas"]
     attrs = tuple(sorted({a for s in schemas.values() for a in s}))
     ring, lifts = ring_family(attrs)
@@ -141,18 +149,23 @@ def run_crash_case(case: dict, ring_family, shards: int, plan_factory):
     order = VariableOrder.auto(make_query("o"))
     reference = FIVMEngine(make_query("ref"), order)
     sharded = ShardedFIVMEngine(
-        make_query("s"), order, shards=shards, executor="process",
+        make_query("s"), order, shards=shards, executor=executor,
         recv_timeout=RECV_TIMEOUT, checkpoint_every=CHECKPOINT_EVERY,
-        faults=plan_factory,
+        faults=plan_factory, pipeline_depth=pipeline_depth,
     )
     try:
-        if sharded.executor != "process":  # pragma: no cover - no fork
+        if sharded.executor != executor:  # pragma: no cover - no fork
             return None
         empty = Database(
             Relation(rel, schema, ring) for rel, schema in schemas.items()
         )
         reference.initialize(empty)
         sharded.initialize(empty)
+        # Under a pipelined executor the per-step root deltas are
+        # deferred and compared only after the stream: resolving them
+        # inline would drain the window every step and no fault could
+        # ever land mid-window.
+        pending = []
         for step, event in enumerate(case["events"]):
             kind = event["kind"]
             if kind == "update":
@@ -205,8 +218,15 @@ def run_crash_case(case: dict, ring_family, shards: int, plan_factory):
                 got = sharded.apply_decomposed_update(fresh())
             else:  # pragma: no cover - generator bug guard
                 raise ValueError(f"unknown event kind {kind!r}")
+            if pipeline_depth > 0:
+                pending.append((step, kind, expect, got))
+            else:
+                if not expect.same_as(got.rename({}, name=expect.name)):
+                    return f"step {step} ({kind}): root delta diverged"
+        sharded.flush()
+        for step, kind, expect, got in pending:
             if not expect.same_as(got.rename({}, name=expect.name)):
-                return f"step {step} ({kind}): root delta diverged"
+                return f"step {step} ({kind}): deferred root delta diverged"
         merged = sharded.merged_views()
         for view_name, contents in reference.views.items():
             if not contents.same_as(
@@ -235,6 +255,38 @@ def test_crash_recovery_oracle(ring_name, shards):
         assert failure is None, (
             f"ring={ring_name} shards={shards} plan={label}: {failure}\n"
             f"case seed {case['seed']}"
+        )
+
+
+#: Executor shapes the oracle re-runs beyond the synchronous process
+#: executor: the send-ahead window and the TCP transport must be exactly
+#: as invisible to correctness as supervision itself.
+PIPELINED_SHAPES = (("process", 4), ("socket", 4))
+
+
+@requires_fork
+@pytest.mark.parametrize("executor,depth", PIPELINED_SHAPES)
+@pytest.mark.parametrize("ring_name", ("int", "cofactor"))
+def test_crash_recovery_oracle_pipelined(ring_name, executor, depth):
+    """The oracle over a pipelined window (process and socket executors):
+    seeded faults land mid-window and every deferred root delta must
+    still resolve to the fault-free engine's."""
+    ring_family = RING_FAMILIES[ring_name]
+    allow_factorized = ring_name != "matrix"
+    ring_index = sorted(RING_FAMILIES).index(ring_name)
+    shape_index = PIPELINED_SHAPES.index((executor, depth))
+    for i, (label, plan_factory) in enumerate(PLANS):
+        case = generate_case(
+            BASE_SEED + 20_000 * ring_index + 1_000 * shape_index + i,
+            allow_factorized,
+        )
+        failure = run_crash_case(
+            case, ring_family, 2, plan_factory,
+            executor=executor, pipeline_depth=depth,
+        )
+        assert failure is None, (
+            f"ring={ring_name} executor={executor} depth={depth} "
+            f"plan={label}: {failure}\ncase seed {case['seed']}"
         )
 
 
@@ -343,6 +395,57 @@ def test_injected_error_is_recovered_like_a_crash():
             expect = reference.apply_update(delta.copy())
             got = sharded.apply_update(delta)
             assert expect.same_as(got.rename({}, name=expect.name))
+        assert sum(sharded.shard_restarts) >= 1
+
+
+@requires_fork
+@pytest.mark.parametrize("executor", ["process", "socket"])
+def test_mid_window_crash_is_exactly_once(executor):
+    """A worker killed with several applied-but-unacked updates in the
+    send-ahead window is rebuilt from snapshot + journal-tail replay,
+    and every deferred root delta still resolves fault-free."""
+    reference = FIVMEngine(small_query("ref"))
+    reference.initialize(small_db())
+    expected = [reference.apply_update(d) for d in deltas(8)]
+    with make_sharded(
+        executor=executor,
+        pipeline_depth=4,
+        checkpoint_every=3,
+        faults=FaultPlan.parse("worker.post_apply@3=crash"),
+    ) as sharded:
+        sharded.initialize(small_db())
+        got = [sharded.apply_update(d) for d in deltas(8)]
+        sharded.flush()
+        for expect, handle in zip(expected, got):
+            assert expect.same_as(handle.rename({}, name=expect.name))
+        assert sharded.result().same_as(
+            reference.result().rename({}, name=sharded.tree.root.name)
+        )
+        assert sum(sharded.shard_restarts) >= 1
+
+
+@requires_fork
+@pytest.mark.parametrize("executor", ["process", "socket"])
+def test_mid_window_hang_trips_the_deadline_and_recovers(executor):
+    """A hung worker holding half a window of unacked updates reads as
+    dead at the recv deadline; the window is replayed onto its successor."""
+    reference = FIVMEngine(small_query("ref"))
+    reference.initialize(small_db())
+    for d in deltas(8):
+        reference.apply_update(d)
+    with make_sharded(
+        executor=executor,
+        pipeline_depth=4,
+        checkpoint_every=None,
+        faults=FaultPlan.parse("worker.recv@4=hang", hang_seconds=4.0),
+    ) as sharded:
+        sharded.initialize(small_db())
+        for d in deltas(8):
+            sharded.apply_update(d)
+        sharded.flush()
+        assert sharded.result().same_as(
+            reference.result().rename({}, name=sharded.tree.root.name)
+        )
         assert sum(sharded.shard_restarts) >= 1
 
 

@@ -13,10 +13,12 @@ view:
   cache), ``"kernels"`` (vectorized NumPy execution where the ring packs,
   generated source elsewhere), and ``"interpreter"`` (the IR walker, the
   reference semantics),
-* the hash-partitioned :class:`ShardedFIVMEngine` (three shards, inline
-  executor, shard-key defaulted to the variable-order root, inheriting
-  the primary backend) — per-update merged root deltas and final merged
-  views,
+* the hash-partitioned :class:`ShardedFIVMEngine` (three shards,
+  shard-key defaulted to the variable-order root, inheriting the primary
+  backend) — per-update merged root deltas and final merged views.  The
+  executor defaults to ``inline``; ``FIVM_SHARD_EXECUTOR`` (with
+  ``FIVM_SHARD_PIPELINE`` for the send-ahead window) swaps in the
+  process or socket transport so CI sweeps the wire protocol too,
 * :class:`RecursiveIVM` (the DBToaster-style baseline) on commutative
   rings, plus from-scratch factorized recomputation on every ring.
 
@@ -368,199 +370,208 @@ def run_case(case: dict, ring_family) -> Optional[str]:
     sharded_storage = (
         "columnar" if any(s == "columnar" for _, s in CONFIGS) else "dict"
     )
+    # ``FIVM_SHARD_EXECUTOR`` swaps the sharded rider's executor (CI runs
+    # the differential suite once per transport); ``FIVM_SHARD_PIPELINE``
+    # is inherited by the engine itself.
+    sharded_executor = (
+        os.environ.get("FIVM_SHARD_EXECUTOR", "inline").strip() or "inline"
+    )
     sharded = ShardedFIVMEngine(
-        make_query("s"), order, shards=3, executor="inline",
+        make_query("s"), order, shards=3, executor=sharded_executor,
         backend=primary_backend, storage=sharded_storage,
     )
-    recursive = RecursiveIVM(make_query("r")) if commutative else None
-    db = Database(
-        Relation(rel, schema, ring) for rel, schema in schemas.items()
-    )
+    try:
+        recursive = RecursiveIVM(make_query("r")) if commutative else None
+        db = Database(
+            Relation(rel, schema, ring) for rel, schema in schemas.items()
+        )
 
-    def recursive_apply(delta: Relation) -> Optional[Relation]:
-        if recursive is None:
-            return None
-        return recursive.apply_update(delta.copy())
+        def recursive_apply(delta: Relation) -> Optional[Relation]:
+            if recursive is None:
+                return None
+            return recursive.apply_update(delta.copy())
 
-    # -- served-key sampling (the partial-mode oracle) ------------------
-    # After every event each partial rider serves a sample mixing cold
-    # keys (never served → upquery), hot keys (still registered), and
-    # previously served keys the tiny budget has since evicted; each must
-    # equal the full primary engine's root payload.  ``served`` is the
-    # rolling history the hot/evicted picks resample from.
-    root_name = engines[primary].tree.root.name
-    root_keys = engines[primary].tree.root.keys
-    serve_rng = random.Random(case["seed"] ^ 0x5E12)
-    served: List[tuple] = []
-    served_set = set()
+        # -- served-key sampling (the partial-mode oracle) ------------------
+        # After every event each partial rider serves a sample mixing cold
+        # keys (never served → upquery), hot keys (still registered), and
+        # previously served keys the tiny budget has since evicted; each must
+        # equal the full primary engine's root payload.  ``served`` is the
+        # rolling history the hot/evicted picks resample from.
+        root_name = engines[primary].tree.root.name
+        root_keys = engines[primary].tree.root.keys
+        serve_rng = random.Random(case["seed"] ^ 0x5E12)
+        served: List[tuple] = []
+        served_set = set()
 
-    def check_served(step: int) -> Optional[str]:
-        if not partial_clients:
-            return None
-        oracle = engines[primary].views[root_name]
-        picks = list(serve_rng.sample(served, min(2, len(served))))
-        existing = list(oracle.keys())
-        if existing:
-            picks.append(serve_rng.choice(existing))
-        picks.append(tuple(serve_rng.randint(0, 2) for _ in root_keys))
-        for name, client in partial_clients.items():
+        def check_served(step: int) -> Optional[str]:
+            if not partial_clients:
+                return None
+            oracle = engines[primary].views[root_name]
+            picks = list(serve_rng.sample(served, min(2, len(served))))
+            existing = list(oracle.keys())
+            if existing:
+                picks.append(serve_rng.choice(existing))
+            picks.append(tuple(serve_rng.randint(0, 2) for _ in root_keys))
+            for name, client in partial_clients.items():
+                for key in picks:
+                    got = client.lookup(root_name, key)
+                    if not ring.eq(got, oracle.payload(key)):
+                        return f"step {step}: served key {key}: full != {name}"
             for key in picks:
-                got = client.lookup(root_name, key)
-                if not ring.eq(got, oracle.payload(key)):
-                    return f"step {step}: served key {key}: full != {name}"
-        for key in picks:
-            if key not in served_set:
-                served_set.add(key)
-                served.append(key)
-        return None
+                if key not in served_set:
+                    served_set.add(key)
+                    served.append(key)
+            return None
 
-    for step, event in enumerate(case["events"]):
-        kind = event["kind"]
-        rec_total: Optional[Relation] = None
-        roots: Dict[str, Relation] = {}
-        if kind == "update":
-            def fresh():
-                return _as_delta(
-                    event["rel"], schemas[event["rel"]], ring, event["data"]
-                )
-
-            for name, engine in engines.items():
-                roots[name] = engine.apply_update(fresh())
-            for client in partial_clients.values():
-                client.engine.apply_update(fresh())
-            roots["sharded"] = sharded.apply_update(fresh())
-            rec_total = recursive_apply(fresh())
-            db.apply_update(fresh())
-        elif kind == "batch":
-            def build_items():
-                items = []
-                for item in event["items"]:
-                    rel = item["rel"]
-                    if item["kind"] == "factorized":
-                        items.append(_as_factorized(rel, ring, item["terms"]))
-                    else:
-                        items.append(
-                            _as_delta(rel, schemas[rel], ring, item["data"])
-                        )
-                return items
-
-            def build_flats():
-                flats = []
-                for item in event["items"]:
-                    rel = item["rel"]
-                    if item["kind"] == "factorized":
-                        flats.append(
-                            _as_factorized(rel, ring, item["terms"]).flatten(
-                                schemas[rel], name=rel
-                            )
-                        )
-                    else:
-                        flats.append(
-                            _as_delta(rel, schemas[rel], ring, item["data"])
-                        )
-                return flats
-
-            for name, engine in engines.items():
-                roots[name] = engine.apply_batch(build_items())
-            for client in partial_clients.values():
-                client.engine.apply_batch(build_items())
-            roots["sharded"] = sharded.apply_batch(build_items())
-            for flat in build_flats():
-                contribution = recursive_apply(flat)
-                if contribution is not None:
-                    rec_total = (
-                        contribution if rec_total is None
-                        else rec_total.union(contribution)
+        for step, event in enumerate(case["events"]):
+            kind = event["kind"]
+            rec_total: Optional[Relation] = None
+            roots: Dict[str, Relation] = {}
+            if kind == "update":
+                def fresh():
+                    return _as_delta(
+                        event["rel"], schemas[event["rel"]], ring, event["data"]
                     )
+
+                for name, engine in engines.items():
+                    roots[name] = engine.apply_update(fresh())
+                for client in partial_clients.values():
+                    client.engine.apply_update(fresh())
+                roots["sharded"] = sharded.apply_update(fresh())
+                rec_total = recursive_apply(fresh())
+                db.apply_update(fresh())
+            elif kind == "batch":
+                def build_items():
+                    items = []
+                    for item in event["items"]:
+                        rel = item["rel"]
+                        if item["kind"] == "factorized":
+                            items.append(_as_factorized(rel, ring, item["terms"]))
+                        else:
+                            items.append(
+                                _as_delta(rel, schemas[rel], ring, item["data"])
+                            )
+                    return items
+
+                def build_flats():
+                    flats = []
+                    for item in event["items"]:
+                        rel = item["rel"]
+                        if item["kind"] == "factorized":
+                            flats.append(
+                                _as_factorized(rel, ring, item["terms"]).flatten(
+                                    schemas[rel], name=rel
+                                )
+                            )
+                        else:
+                            flats.append(
+                                _as_delta(rel, schemas[rel], ring, item["data"])
+                            )
+                    return flats
+
+                for name, engine in engines.items():
+                    roots[name] = engine.apply_batch(build_items())
+                for client in partial_clients.values():
+                    client.engine.apply_batch(build_items())
+                roots["sharded"] = sharded.apply_batch(build_items())
+                for flat in build_flats():
+                    contribution = recursive_apply(flat)
+                    if contribution is not None:
+                        rec_total = (
+                            contribution if rec_total is None
+                            else rec_total.union(contribution)
+                        )
+                    db.apply_update(flat)
+            elif kind == "factorized":
+                if not commutative:
+                    continue
+                rel = event["rel"]
+                for name, engine in engines.items():
+                    roots[name] = engine.apply_factorized_update(
+                        _as_factorized(rel, ring, event["terms"])
+                    )
+                for client in partial_clients.values():
+                    client.engine.apply_factorized_update(
+                        _as_factorized(rel, ring, event["terms"])
+                    )
+                roots["sharded"] = sharded.apply_factorized_update(
+                    _as_factorized(rel, ring, event["terms"])
+                )
+                flat = _as_factorized(rel, ring, event["terms"]).flatten(
+                    schemas[rel], name=rel
+                )
+                rec_total = recursive_apply(flat)
                 db.apply_update(flat)
-        elif kind == "factorized":
-            if not commutative:
-                continue
-            rel = event["rel"]
-            for name, engine in engines.items():
-                roots[name] = engine.apply_factorized_update(
-                    _as_factorized(rel, ring, event["terms"])
-                )
-            for client in partial_clients.values():
-                client.engine.apply_factorized_update(
-                    _as_factorized(rel, ring, event["terms"])
-                )
-            roots["sharded"] = sharded.apply_factorized_update(
-                _as_factorized(rel, ring, event["terms"])
-            )
-            flat = _as_factorized(rel, ring, event["terms"]).flatten(
-                schemas[rel], name=rel
-            )
-            rec_total = recursive_apply(flat)
-            db.apply_update(flat)
-        elif kind == "decomposed":
-            if not commutative:
-                continue
-            rel = event["rel"]
+            elif kind == "decomposed":
+                if not commutative:
+                    continue
+                rel = event["rel"]
 
-            def fresh():
-                return _as_delta(rel, schemas[rel], ring, event["data"])
+                def fresh():
+                    return _as_delta(rel, schemas[rel], ring, event["data"])
 
-            for name, engine in engines.items():
-                roots[name] = engine.apply_decomposed_update(fresh())
-            for client in partial_clients.values():
-                client.engine.apply_decomposed_update(fresh())
-            roots["sharded"] = sharded.apply_decomposed_update(fresh())
-            rec_total = recursive_apply(fresh())
-            db.apply_update(fresh())
-        else:  # pragma: no cover - generator bug guard
-            raise ValueError(f"unknown event kind {kind!r}")
+                for name, engine in engines.items():
+                    roots[name] = engine.apply_decomposed_update(fresh())
+                for client in partial_clients.values():
+                    client.engine.apply_decomposed_update(fresh())
+                roots["sharded"] = sharded.apply_decomposed_update(fresh())
+                rec_total = recursive_apply(fresh())
+                db.apply_update(fresh())
+            else:  # pragma: no cover - generator bug guard
+                raise ValueError(f"unknown event kind {kind!r}")
 
-        base = roots[primary]
-        for name, root in roots.items():
+            base = roots[primary]
+            for name, root in roots.items():
+                if name == primary:
+                    continue
+                if not base.same_as(root.rename({}, name=base.name)):
+                    return (
+                        f"step {step} ({kind}): {primary} root delta != {name}"
+                    )
+            if rec_total is not None:
+                rec_cmp = rec_total.reorder(base.schema, name=base.name)
+                if not base.same_as(rec_cmp):
+                    return f"step {step} ({kind}): {primary} root delta != recursive"
+            failure = check_served(step)
+            if failure:
+                return failure
+
+        primary_engine = engines[primary]
+        for name, engine in engines.items():
             if name == primary:
                 continue
-            if not base.same_as(root.rename({}, name=base.name)):
-                return (
-                    f"step {step} ({kind}): {primary} root delta != {name}"
-                )
-        if rec_total is not None:
-            rec_cmp = rec_total.reorder(base.schema, name=base.name)
-            if not base.same_as(rec_cmp):
-                return f"step {step} ({kind}): {primary} root delta != recursive"
-        failure = check_served(step)
-        if failure:
-            return failure
-
-    primary_engine = engines[primary]
-    for name, engine in engines.items():
-        if name == primary:
-            continue
-        if not primary_engine.result().same_as(engine.result()):
-            return f"final result: {primary} != {name}"
+            if not primary_engine.result().same_as(engine.result()):
+                return f"final result: {primary} != {name}"
+            for view_name, contents in primary_engine.views.items():
+                if not contents.same_as(engine.views[view_name]):
+                    return f"final view {view_name}: {primary} != {name}"
+        sharded_views = sharded.merged_views()
         for view_name, contents in primary_engine.views.items():
-            if not contents.same_as(engine.views[view_name]):
-                return f"final view {view_name}: {primary} != {name}"
-    sharded_views = sharded.merged_views()
-    for view_name, contents in primary_engine.views.items():
-        if not contents.same_as(
-            sharded_views[view_name].rename({}, name=contents.name)
-        ):
-            return f"final view {view_name}: {primary} != sharded merge"
-    if recursive is not None:
-        rec_result = recursive.result().reorder(
-            primary_engine.result().schema, name=primary_engine.result().name
+            if not contents.same_as(
+                sharded_views[view_name].rename({}, name=contents.name)
+            ):
+                return f"final view {view_name}: {primary} != sharded merge"
+        if recursive is not None:
+            rec_result = recursive.result().reorder(
+                primary_engine.result().schema, name=primary_engine.result().name
+            )
+            if not primary_engine.result().same_as(rec_result):
+                return "final result: primary != recursive IVM"
+        expected = recompute(make_query("x"), db, order).reorder(
+            primary_engine.result().schema
         )
-        if not primary_engine.result().same_as(rec_result):
-            return "final result: primary != recursive IVM"
-    expected = recompute(make_query("x"), db, order).reorder(
-        primary_engine.result().schema
-    )
-    if not primary_engine.result().same_as(expected):
-        return "final result: primary != from-scratch recomputation"
-    # Every key ever served must still equal the full engine's value —
-    # including keys the partial riders have long since evicted.
-    oracle = primary_engine.views[root_name]
-    for name, client in partial_clients.items():
-        for key in served:
-            if not ring.eq(client.lookup(root_name, key), oracle.payload(key)):
-                return f"final served key {key}: full != {name}"
-    return None
+        if not primary_engine.result().same_as(expected):
+            return "final result: primary != from-scratch recomputation"
+        # Every key ever served must still equal the full engine's value —
+        # including keys the partial riders have long since evicted.
+        oracle = primary_engine.views[root_name]
+        for name, client in partial_clients.items():
+            for key in served:
+                if not ring.eq(client.lookup(root_name, key), oracle.payload(key)):
+                    return f"final served key {key}: full != {name}"
+        return None
+    finally:
+        sharded.close()
 
 
 # ----------------------------------------------------------------------

@@ -11,18 +11,26 @@ from __future__ import annotations
 
 import multiprocessing
 import random
+import socket
 
 import numpy as np
 import pytest
 
 from repro.core import (
+    DeferredRelation,
     FIVMEngine,
     FactorizedUpdate,
+    FrameConn,
     Query,
     ShardedFIVMEngine,
     VariableOrder,
 )
 from repro.core.sharded import stable_hash
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="out-of-process executors need the fork start method",
+)
 from repro.data import Database, Relation
 from repro.rings import (
     CofactorRing,
@@ -81,7 +89,7 @@ RING_FAMILIES = {
 
 
 def make_pair(ring_family, shards=4, free=("B",), executor="inline",
-              shard_key=None, schemas=SCHEMAS):
+              shard_key=None, schemas=SCHEMAS, **engine_kwargs):
     attrs = tuple(sorted({a for s in schemas.values() for a in s}))
     ring, lifts = ring_family(attrs)
     lifting = Lifting(ring, lifts)
@@ -93,7 +101,7 @@ def make_pair(ring_family, shards=4, free=("B",), executor="inline",
     single = FIVMEngine(query("1"), order)
     sharded = ShardedFIVMEngine(
         query("s"), order, shards=shards, executor=executor,
-        shard_key=shard_key,
+        shard_key=shard_key, **engine_kwargs,
     )
     return single, sharded, ring
 
@@ -336,10 +344,7 @@ def test_inline_shards_share_one_program_library():
     assert len(sharded._exec.engines[0]._library) > 0
 
 
-@pytest.mark.skipif(
-    "fork" not in multiprocessing.get_all_start_methods(),
-    reason="process executor needs the fork start method",
-)
+@needs_fork
 def test_process_executor_matches_single_engine():
     single, sharded, ring = make_pair(
         _cofactor_family, shards=2, executor="process"
@@ -402,3 +407,232 @@ def test_batch_rejects_factorized_items_on_noncommutative_rings_up_front():
     # Nothing was applied anywhere — states still match (and are empty).
     assert_equal_state(single, sharded)
     assert single.result().is_empty
+
+
+# ---------------------------------------------------------------------------
+# Compound shard keys
+# ---------------------------------------------------------------------------
+
+
+def test_compound_shard_key_partitions_and_routes():
+    """``shard_key=("A", "C")``: only relations containing *every*
+    component are partitioned; routing hashes the component tuple."""
+    single, sharded, ring = make_pair(
+        _int_family, shards=3, shard_key=("A", "C")
+    )
+    # Only S carries both A and C; R lacks C, T lacks A.
+    assert sharded.partitioned == frozenset({"S"})
+    assert sharded.replicated == frozenset({"R", "T"})
+    assert sharded.shard_key == ("A", "C")
+    drive_stream(single, sharded, ring, seed=11)
+    assert_equal_state(single, sharded)
+    # Routing invariant: every key of every shard's S fragment hashes home
+    # on the (A, C) component tuple — which is exactly S's full key here.
+    leaf = sharded.tree.leaves["S"].name
+    occupied = 0
+    for shard, engine in enumerate(sharded._exec.engines):
+        fragment = engine.views[leaf]
+        for key in fragment.keys():
+            assert stable_hash(tuple(key)) % sharded.shards == shard
+        occupied += bool(len(fragment))
+    assert occupied > 1, "compound routing collapsed onto one shard"
+
+
+def test_compound_shard_key_validation():
+    ring = INT_RING
+    q = Query("q", SCHEMAS, ring=ring)
+    order = VariableOrder.auto(q)
+    with pytest.raises(ValueError, match="must not be empty"):
+        ShardedFIVMEngine(q, order, shards=2, shard_key=())
+    with pytest.raises(ValueError, match="not a query variable"):
+        ShardedFIVMEngine(q, order, shards=2, shard_key=("A", "Z"))
+    # No relation carries both B and D — sharding would replicate all.
+    with pytest.raises(ValueError, match="no relation contains"):
+        ShardedFIVMEngine(q, order, shards=2, shard_key=("B", "D"))
+    # A one-element tuple normalizes to the bare single-attribute key.
+    engine = ShardedFIVMEngine(q, order, shards=2, shard_key=("C",))
+    assert engine.shard_key == "C"
+    assert engine.partitioned == frozenset({"S", "T"})
+
+
+@pytest.mark.parametrize("ring_name", ("degree", "matrix"))
+def test_compound_shard_key_equals_single_on_hard_rings(ring_name):
+    single, sharded, ring = make_pair(
+        RING_FAMILIES[ring_name], shards=4, shard_key=("A", "C")
+    )
+    drive_stream(single, sharded, ring, seed=13)
+    assert_equal_state(single, sharded)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined executor: send-ahead window, deferred deltas, flush barrier
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+def test_pipelined_deltas_stay_lazy_until_read():
+    """With a send-ahead window, ``apply_update`` returns a
+    :class:`DeferredRelation` that resolves only when read — ``flush``
+    drains the window without forcing any merge."""
+    # checkpoint_every=None: a checkpoint boundary drains the whole
+    # window (resolving handles early, by design); disabling it makes
+    # every handle's laziness deterministic for the assertions below.
+    single, sharded, ring = make_pair(
+        _int_family, shards=2, executor="process", pipeline_depth=8,
+        checkpoint_every=None,
+    )
+    try:
+        assert sharded.pipeline_depth == 8
+        handles = []
+        expected = []
+        rng = random.Random(3)
+        for _ in range(20):
+            rel = rng.choice(sorted(SCHEMAS))
+            data = {
+                tuple(rng.randint(0, 3) for _ in SCHEMAS[rel]): 1,
+            }
+            delta = Relation(rel, SCHEMAS[rel], ring, data)
+            expected.append(single.apply_update(delta.copy()))
+            handles.append(sharded.apply_update(delta.copy()))
+        assert all(isinstance(h, DeferredRelation) for h in handles)
+        # The window (depth 8 per shard) forced some sends to drain acks,
+        # but no handle has merged: nothing read them yet.
+        assert not any(h.resolved for h in handles)
+        sharded.flush()
+        assert not any(h.resolved for h in handles), (
+            "flush() must drain the window, not force root-delta merges"
+        )
+        # Reading resolves — and matches the eager single-engine deltas.
+        for step, (want, got) in enumerate(zip(expected, handles)):
+            assert want.same_as(got.rename({}, name=want.name)), (
+                f"deferred root delta diverged at step {step}"
+            )
+        assert all(h.resolved for h in handles)
+        assert_equal_state(single, sharded)
+    finally:
+        sharded.close()
+
+
+@needs_fork
+def test_pipelined_reads_sit_behind_the_flush_barrier():
+    """A read (views/result) while updates are in flight must observe
+    every enqueued update, exactly once."""
+    single, sharded, ring = make_pair(
+        _cofactor_family, shards=2, executor="process", pipeline_depth=16
+    )
+    try:
+        rng = random.Random(5)
+        for step in range(12):
+            rel = rng.choice(sorted(SCHEMAS))
+            data = {
+                tuple(rng.randint(0, 3) for _ in SCHEMAS[rel]):
+                    ring.from_int(rng.choice([1, 2, -1])),
+            }
+            delta = Relation(rel, SCHEMAS[rel], ring, data)
+            single.apply_update(delta.copy())
+            sharded.apply_update(delta.copy())
+            if step % 5 == 4:  # mid-window read: implicit flush barrier
+                result = single.result()
+                assert result.same_as(
+                    sharded.result().rename({}, name=result.name)
+                )
+        assert_equal_state(single, sharded)
+    finally:
+        sharded.close()
+
+
+@needs_fork
+def test_socket_executor_matches_single_engine():
+    """Loopback socket transport: same differential contract, over TCP
+    frames, with a pipelined window."""
+    single, sharded, ring = make_pair(
+        _degree_family, shards=2, executor="socket", pipeline_depth=4
+    )
+    try:
+        assert sharded.executor == "socket"
+        drive_stream(single, sharded, ring, seed=17, steps=15)
+        u = Relation("R_u", ("A",), ring, {(1,): ring.from_int(2)})
+        v = Relation("R_v", ("B",), ring, {(2,): ring.from_int(1)})
+        expected = single.apply_factorized_update(
+            FactorizedUpdate("R", [[u.copy(), v.copy()]], ring=ring)
+        )
+        got = sharded.apply_factorized_update(
+            FactorizedUpdate("R", [[u, v]], ring=ring)
+        )
+        assert expected.same_as(got.rename({}, name=expected.name))
+        assert_equal_state(single, sharded)
+    finally:
+        sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# FrameConn: the framed transport under both executors
+# ---------------------------------------------------------------------------
+
+
+def _conn_pair():
+    a, b = socket.socketpair()
+    return FrameConn(a), FrameConn(b)
+
+
+def test_frameconn_round_trips_frames_in_order():
+    left, right = _conn_pair()
+    try:
+        payloads = [{"seq": i, "blob": b"x" * (i * 100)} for i in range(5)]
+        for obj in payloads:
+            left.send(obj)
+        # Buffered: nothing crossed yet; the peer sees no frame.
+        assert not right.poll(0.0)
+        left.flush()
+        assert right.poll(1.0)
+        assert [right.recv() for _ in payloads] == payloads
+    finally:
+        left.close()
+        right.close()
+
+
+def test_frameconn_poll_answers_from_buffer_without_flushing():
+    """A poll that can be satisfied from already-received bytes must not
+    flush pending writes — that is what lets both sides batch."""
+    left, right = _conn_pair()
+    try:
+        left.send("ping")
+        left.flush()
+        assert right.poll(1.0)  # frame now buffered on the right
+        right.send("pong")      # reply sits in the output buffer
+        assert right.poll(0.0)  # answered from the input buffer...
+        assert right._out, "poll flushed the reply buffer prematurely"
+        assert right.recv() == "ping"
+        assert not left.poll(0.0), "reply crossed before any flush"
+        right.flush()
+        assert left.recv() == "pong"
+    finally:
+        left.close()
+        right.close()
+
+
+def test_frameconn_raises_eoferror_once_the_peer_is_gone():
+    left, right = _conn_pair()
+    left.send("last words")
+    left.close()
+    try:
+        assert right.recv() == "last words"
+        with pytest.raises(EOFError):
+            right.recv()
+        with pytest.raises(EOFError):
+            right.poll(0.5)
+    finally:
+        right.close()
+
+
+def test_frameconn_autoflush_ships_every_send():
+    left, right = _conn_pair()
+    try:
+        eager = FrameConn(left._sock, autoflush=True)
+        eager.send([1, 2, 3])
+        assert not eager._out
+        assert right.poll(1.0)
+        assert right.recv() == [1, 2, 3]
+    finally:
+        left.close()
+        right.close()
